@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Example: design-space exploration with the public API -- sweep buffer
+ * depth, VC count, wakeup latency and the aggressive bypass, and report
+ * latency / energy for NoRD under a PARSEC-like load.
+ *
+ * Usage: design_space [benchmark]   (default: ferret)
+ */
+
+#include <cstdio>
+
+#include "network/noc_system.hh"
+#include "power/power_model.hh"
+#include "traffic/parsec_workload.hh"
+
+namespace {
+
+struct Point
+{
+    const char *name;
+    nord::NocConfig cfg;
+};
+
+double
+runPoint(const nord::NocConfig &cfg, const nord::ParsecParams &params,
+         double *energyOut)
+{
+    using namespace nord;
+    NocSystem sys(cfg);
+    ParsecWorkload wl(params, 1);
+    sys.setWorkload(&wl);
+    sys.runToCompletion(30'000'000);
+    sys.finalizeStats();
+    PowerModel pm;
+    const int numLinks = 2 * (cfg.rows * (cfg.cols - 1) +
+                              cfg.cols * (cfg.rows - 1));
+    EnergyBreakdown e =
+        pm.compute(sys.stats(), sys.now(), numLinks, cfg.design);
+    *energyOut = e.total() * 1e6;  // uJ
+    return sys.stats().avgPacketLatency();
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace nord;
+
+    const ParsecParams &params =
+        parsecByName(argc > 1 ? argv[1] : "ferret");
+
+    NocConfig base;
+    base.design = PgDesign::kNord;
+
+    std::vector<Point> points;
+    points.push_back({"baseline (Table 1)", base});
+    {
+        NocConfig c = base;
+        c.bufferDepth = 2;
+        points.push_back({"shallow buffers (2)", c});
+    }
+    {
+        NocConfig c = base;
+        c.bufferDepth = 10;
+        points.push_back({"deep buffers (10)", c});
+    }
+    {
+        NocConfig c = base;
+        c.numVcs = 6;
+        c.numEscapeVcs = 2;
+        points.push_back({"6 VCs (4 adaptive)", c});
+    }
+    {
+        NocConfig c = base;
+        c.wakeupLatency = 20;
+        points.push_back({"slow wakeup (20)", c});
+    }
+    {
+        NocConfig c = base;
+        c.nordAggressiveBypass = true;
+        points.push_back({"aggressive bypass", c});
+    }
+    {
+        NocConfig c = base;
+        c.nordPerfCentricCount = 0;
+        points.push_back({"no perf-centric", c});
+    }
+
+    std::printf("=== NoRD design space on %s ===\n", params.name.c_str());
+    std::printf("%-22s %10s %12s\n", "variant", "latency", "energy(uJ)");
+    for (const Point &p : points) {
+        double energy = 0.0;
+        double lat = runPoint(p.cfg, params, &energy);
+        std::printf("%-22s %10.2f %12.2f\n", p.name, lat, energy);
+    }
+    return 0;
+}

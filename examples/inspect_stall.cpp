@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Diagnostic: run uniform traffic on a chosen design and dump component
+ * state if deliveries stop making progress (stall detector).
+ *
+ * Usage: inspect_stall [design 0-3] [rate] [cycles]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "network/noc_system.hh"
+#include "traffic/synthetic_traffic.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace nord;
+    int design = argc > 1 ? std::atoi(argv[1]) : 3;
+    double rate = argc > 2 ? std::atof(argv[2]) : 0.05;
+    Cycle cycles = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 100000;
+
+    NocConfig cfg;
+    cfg.design = static_cast<PgDesign>(design);
+    NocSystem sys(cfg);
+    SyntheticTraffic traffic(TrafficPattern::kUniformRandom, rate, 7);
+    sys.setWorkload(&traffic);
+
+    std::uint64_t lastDelivered = 0;
+    Cycle lastProgress = 0;
+    for (Cycle t = 0; t < cycles; t += 500) {
+        sys.run(500);
+        if (sys.stats().packetsDelivered() != lastDelivered) {
+            lastDelivered = sys.stats().packetsDelivered();
+            lastProgress = sys.now();
+        } else if (sys.now() - lastProgress > 5000) {
+            std::printf("STALL: no deliveries since cycle %llu\n",
+                        static_cast<unsigned long long>(lastProgress));
+            sys.dumpState(stdout);
+            return 1;
+        }
+    }
+    std::printf("OK: delivered %llu packets, latency %.2f, idle %.1f%%\n",
+                static_cast<unsigned long long>(
+                    sys.stats().packetsDelivered()),
+                sys.stats().avgPacketLatency(),
+                100.0 * sys.stats().avgIdleFraction());
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Packet and flit types for the wormhole-switched network.
+ *
+ * A packet is the unit of routing; it is serialized into flits (head /
+ * body / tail, or a single head-tail flit). The paper's workloads use a
+ * bimodal length distribution: 1-flit short packets (control) and 5-flit
+ * long packets (data), cf. Section 5.2.
+ */
+
+#ifndef NORD_COMMON_FLIT_HH
+#define NORD_COMMON_FLIT_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace nord {
+
+/**
+ * Per-packet metadata carried by every flit.
+ *
+ * Flits are small value types copied through buffers and links; keeping the
+ * packet description inline (rather than behind a shared pointer) keeps the
+ * simulator allocation-free on the fast path.
+ */
+struct Flit
+{
+    PacketId packet = 0;        ///< owning packet id
+    NodeId src = kInvalidNode;  ///< source node
+    NodeId dst = kInvalidNode;  ///< destination node
+    FlitType type = FlitType::kHeadTail;
+    std::int16_t length = 1;    ///< packet length in flits
+    std::int16_t seq = 0;       ///< flit index within the packet
+
+    Cycle createdAt = 0;        ///< cycle the packet was generated at the NI
+    Cycle injectedAt = 0;       ///< cycle the head flit entered the network
+
+    /** Hops traversed so far (incremented at each router/bypass). */
+    std::int16_t hops = 0;
+
+    /** Non-minimal hops taken so far (NoRD misroute accounting). */
+    std::int16_t misroutes = 0;
+
+    /**
+     * Once true the packet is confined to escape resources until it reaches
+     * its destination (Duato's Protocol / NoRD ring escape).
+     */
+    bool onEscape = false;
+
+    /**
+     * Escape VC level: 0 before crossing the Bypass Ring dateline, 1 after.
+     * Two escape VCs with a dateline break the ring's cyclic channel
+     * dependence (Section 4.2).
+     */
+    std::int8_t escLevel = 0;
+
+    /** VC currently holding the flit (set by the receiving input unit). */
+    VcId vc = kInvalidVc;
+
+    /** Workload-defined tag (e.g. transaction id for request/reply). */
+    std::uint64_t tag = 0;
+};
+
+/** True if this flit starts a packet. */
+inline bool
+flitIsHead(const Flit &f)
+{
+    return isHead(f.type);
+}
+
+/** True if this flit ends a packet. */
+inline bool
+flitIsTail(const Flit &f)
+{
+    return isTail(f.type);
+}
+
+/**
+ * Description of a packet to be injected by a workload.
+ */
+struct PacketDescriptor
+{
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    int length = 1;             ///< flits
+    Cycle createdAt = 0;
+    std::uint64_t tag = 0;
+};
+
+}  // namespace nord
+
+#endif  // NORD_COMMON_FLIT_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Minimal logging / error-reporting helpers in the gem5 spirit.
+ *
+ * panic()  - a simulator bug: something that should never happen. Aborts.
+ * fatal()  - a user error (bad configuration). Exits with status 1.
+ * warn()   - questionable but survivable condition.
+ * inform() - status message.
+ */
+
+#ifndef NORD_COMMON_LOG_HH
+#define NORD_COMMON_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace nord {
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** printf-style formatting into a std::string. */
+std::string formatString(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace detail
+
+/** Abort on simulator-internal invariant violation. */
+#define NORD_PANIC(...) \
+    ::nord::detail::panicImpl(__FILE__, __LINE__, \
+        ::nord::detail::formatString(__VA_ARGS__))
+
+/** Exit on user configuration error. */
+#define NORD_FATAL(...) \
+    ::nord::detail::fatalImpl(__FILE__, __LINE__, \
+        ::nord::detail::formatString(__VA_ARGS__))
+
+/** Non-fatal warning. */
+#define NORD_WARN(...) \
+    ::nord::detail::warnImpl(::nord::detail::formatString(__VA_ARGS__))
+
+/** Informational message. */
+#define NORD_INFORM(...) \
+    ::nord::detail::informImpl(::nord::detail::formatString(__VA_ARGS__))
+
+/** Assert an invariant, with formatted context on failure. */
+#define NORD_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            NORD_PANIC("assertion '%s' failed: %s", #cond, \
+                ::nord::detail::formatString(__VA_ARGS__).c_str()); \
+        } \
+    } while (0)
+
+}  // namespace nord
+
+#endif  // NORD_COMMON_LOG_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * A small xoshiro256** implementation is used instead of <random> engines so
+ * that simulations are bit-identical across standard library versions --
+ * important for reproducible experiments.
+ */
+
+#ifndef NORD_COMMON_RNG_HH
+#define NORD_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace nord {
+
+/**
+ * xoshiro256** PRNG with SplitMix64 seeding.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next64();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform integer in [0, bound). @p bound must be > 0. */
+    std::uint64_t uniformInt(std::uint64_t bound);
+
+    /** Bernoulli trial with probability @p p. */
+    bool bernoulli(double p);
+
+    /**
+     * Geometric number of idle cycles with mean @p mean (>= 0).
+     * Returns 0 when mean <= 0.
+     */
+    std::uint64_t geometric(double mean);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+}  // namespace nord
+
+#endif  // NORD_COMMON_RNG_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Packet tracing implementation.
+ */
+
+#include "common/trace.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace nord {
+
+PacketId
+tracedPacket()
+{
+    static const PacketId traced = [] {
+        const char *env = std::getenv("NORD_TRACE_PACKET");
+        return env ? static_cast<PacketId>(std::strtoull(env, nullptr, 10))
+                   : 0;
+    }();
+    return traced;
+}
+
+void
+tracePacket(PacketId id, Cycle now, const char *fmt, ...)
+{
+    if (id != tracedPacket() || id == 0)
+        return;
+    std::fprintf(stderr, "[pkt %llu @%llu] ",
+                 static_cast<unsigned long long>(id),
+                 static_cast<unsigned long long>(now));
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n");
+}
+
+}  // namespace nord

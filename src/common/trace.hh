@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Per-packet event tracing for debugging.
+ *
+ * Set NORD_TRACE_PACKET=<id> in the environment to print every traced
+ * event of that packet to stderr. Zero overhead beyond one integer
+ * compare when disabled.
+ */
+
+#ifndef NORD_COMMON_TRACE_HH
+#define NORD_COMMON_TRACE_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace nord {
+
+/** The packet id selected via NORD_TRACE_PACKET (0 = tracing off). */
+PacketId tracedPacket();
+
+/** printf-style trace line for packet @p id (no-op unless selected). */
+void tracePacket(PacketId id, Cycle now, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+}  // namespace nord
+
+#endif  // NORD_COMMON_TRACE_HH

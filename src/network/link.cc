@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Flit and credit link implementation.
+ */
+
+#include "network/link.hh"
+
+#include "common/log.hh"
+#include "router/router.hh"
+
+namespace nord {
+
+FlitLink::FlitLink(Router *dst, Direction inPort)
+    : dst_(dst), inPort_(inPort)
+{
+    NORD_ASSERT(dst != nullptr, "flit link without a sink");
+}
+
+void
+FlitLink::push(const Flit &flit, Cycle due)
+{
+    // A link is one flit wide: serialize in push order. This also keeps
+    // FIFO when a fast bypass re-injection follows a slower pipeline
+    // traversal onto the same wire around a power-state transition.
+    if (!queue_.empty() && queue_.back().due >= due)
+        due = queue_.back().due + 1;
+    queue_.push_back({flit, due});
+    ++traversals_;
+}
+
+void
+FlitLink::tick(Cycle now)
+{
+    while (!queue_.empty() && queue_.front().due <= now) {
+        dst_->acceptFlit(inPort_, queue_.front().flit, now);
+        queue_.pop_front();
+    }
+}
+
+std::string
+FlitLink::name() const
+{
+    return "flink->" + std::to_string(dst_->id()) + dirName(inPort_);
+}
+
+CreditLink::CreditLink(Router *dst, Direction outPort)
+    : dst_(dst), outPort_(outPort)
+{
+    NORD_ASSERT(dst != nullptr, "credit link without a sink");
+}
+
+void
+CreditLink::push(VcId vc, Cycle due)
+{
+    NORD_ASSERT(queue_.empty() || queue_.back().due <= due,
+                "credit link reordering");
+    queue_.push_back({vc, due});
+}
+
+void
+CreditLink::tick(Cycle now)
+{
+    while (!queue_.empty() && queue_.front().due <= now) {
+        dst_->acceptCredit(outPort_, queue_.front().vc, now);
+        queue_.pop_front();
+    }
+}
+
+std::string
+CreditLink::name() const
+{
+    return "clink->" + std::to_string(dst_->id()) + dirName(outPort_);
+}
+
+}  // namespace nord

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Unidirectional flit and credit links.
+ *
+ * A link is a fixed-latency delay line: the sender pushes a payload with a
+ * due cycle, and during the network's delivery phase the link hands every
+ * due payload to its sink. Flit links point at a router input port (which
+ * may redirect into the NI bypass latch when the router is gated off);
+ * credit links point back at the upstream router's output port.
+ */
+
+#ifndef NORD_NETWORK_LINK_HH
+#define NORD_NETWORK_LINK_HH
+
+#include <deque>
+#include <string>
+
+#include "common/flit.hh"
+#include "common/types.hh"
+#include "sim/clocked.hh"
+
+namespace nord {
+
+class Router;
+
+/**
+ * Delay line carrying flits from an upstream router/NI to a downstream
+ * router input port.
+ */
+class FlitLink : public Clocked
+{
+  public:
+    /**
+     * @param dst downstream router
+     * @param inPort input port of @p dst this link feeds
+     */
+    FlitLink(Router *dst, Direction inPort);
+
+    /** Schedule @p flit for delivery at cycle @p due. */
+    void push(const Flit &flit, Cycle due);
+
+    /** Deliver all due flits into the downstream router. */
+    void tick(Cycle now) override;
+
+    /** True when no flit is in flight. */
+    bool empty() const { return queue_.empty(); }
+
+    /** Number of in-flight flits. */
+    size_t inFlight() const { return queue_.size(); }
+
+    /** Total flit traversals since construction (for link energy). */
+    std::uint64_t traversals() const { return traversals_; }
+
+    std::string name() const override;
+
+  private:
+    struct Entry
+    {
+        Flit flit;
+        Cycle due;
+    };
+
+    Router *dst_;
+    Direction inPort_;
+    std::deque<Entry> queue_;
+    std::uint64_t traversals_ = 0;
+};
+
+/**
+ * Delay line carrying credits from a downstream input port back to the
+ * upstream router's output port.
+ */
+class CreditLink : public Clocked
+{
+  public:
+    /**
+     * @param dst upstream router receiving the credits
+     * @param outPort output port of @p dst the credits replenish
+     */
+    CreditLink(Router *dst, Direction outPort);
+
+    /** Schedule a credit for VC @p vc at cycle @p due. */
+    void push(VcId vc, Cycle due);
+
+    /** Deliver all due credits to the upstream router. */
+    void tick(Cycle now) override;
+
+    /** True when no credit is in flight. */
+    bool empty() const { return queue_.empty(); }
+
+    std::string name() const override;
+
+  private:
+    struct Entry
+    {
+        VcId vc;
+        Cycle due;
+    };
+
+    Router *dst_;
+    Direction outPort_;
+    std::deque<Entry> queue_;
+};
+
+}  // namespace nord
+
+#endif  // NORD_NETWORK_LINK_HH

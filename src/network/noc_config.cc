@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Configuration validation.
+ */
+
+#include "network/noc_config.hh"
+
+#include "common/log.hh"
+
+namespace nord {
+
+void
+NocConfig::validate() const
+{
+    if (rows < 2 || cols < 2)
+        NORD_FATAL("mesh must be at least 2x2 (got %dx%d)", rows, cols);
+    if (rows % 2 != 0)
+        NORD_FATAL("bypass ring construction requires an even row count");
+    if (numVcs < 2)
+        NORD_FATAL("need at least 2 VCs (1 escape + 1 adaptive)");
+    if (numEscapeVcs < 1 || numEscapeVcs >= numVcs)
+        NORD_FATAL("numEscapeVcs (%d) must be in [1, numVcs)", numEscapeVcs);
+    if (design == PgDesign::kNord && numEscapeVcs < 2) {
+        NORD_FATAL("NoRD's ring escape needs 2 escape VCs to break the "
+                   "cyclic dependence");
+    }
+    if (bufferDepth < 1)
+        NORD_FATAL("bufferDepth must be >= 1");
+    if (wakeupLatency < 1)
+        NORD_FATAL("wakeupLatency must be >= 1");
+    if (nordWakeupWindow < 1)
+        NORD_FATAL("nordWakeupWindow must be >= 1");
+    if (nordPerfThreshold < 1 || nordPowerThreshold < 1)
+        NORD_FATAL("wakeup thresholds must be >= 1");
+    if (nordMisrouteCap < 0)
+        NORD_FATAL("nordMisrouteCap must be >= 0");
+}
+
+}  // namespace nord

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Configuration for a NoRD network instance.
+ *
+ * Defaults reproduce Table 1 of the paper: 4x4 mesh, 4-stage 3 GHz routers,
+ * 4 VCs per class, 5-flit input buffers, 128-bit links, 12-cycle wakeup
+ * latency, breakeven time of 10 cycles.
+ */
+
+#ifndef NORD_NETWORK_NOC_CONFIG_HH
+#define NORD_NETWORK_NOC_CONFIG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace nord {
+
+/**
+ * All tunables of one simulated network.
+ *
+ * Plain aggregate so experiments can brace-initialize or tweak fields
+ * directly; validate() catches inconsistent settings.
+ */
+struct NocConfig
+{
+    // --- Topology -------------------------------------------------------
+    int rows = 4;                 ///< mesh rows
+    int cols = 4;                 ///< mesh columns
+
+    // --- Router microarchitecture (Table 1) ------------------------------
+    /**
+     * VCs per input port. The first numEscapeVcs are the escape class
+     * (Duato's Protocol); the rest are fully adaptive.
+     */
+    int numVcs = 4;
+    int numEscapeVcs = 2;         ///< escape VCs (ring or XY sub-network)
+    int bufferDepth = 5;          ///< flits per VC buffer
+
+    // --- Power-gating design --------------------------------------------
+    PgDesign design = PgDesign::kNord;
+
+    /** Wakeup (Vdd ramp) latency in cycles: 4 ns at 3 GHz = 12. */
+    int wakeupLatency = 12;
+
+    /** Breakeven time in cycles (Section 2.2). */
+    int betCycles = 10;
+
+    /**
+     * Conv_PG_OPT: cycles of consecutive emptiness required before gating.
+     * Early wakeup lets the router skip gating for idle periods shorter
+     * than ~4 cycles (Section 6.2).
+     */
+    int convOptSleepGuard = 4;
+
+    /**
+     * Conv_PG_OPT: how many cycles before the SA stall point the early
+     * wakeup signal fires (3 for a 4-stage pipeline, Section 3.3).
+     */
+    int earlyWakeupHide = 3;
+
+    // --- NoRD parameters --------------------------------------------------
+    /** VC-request window for the wakeup metric (Section 4.3). */
+    int nordWakeupWindow = 10;
+
+    /** Wakeup threshold for performance-centric routers (Section 6.1). */
+    int nordPerfThreshold = 1;
+
+    /**
+     * Wakeup threshold for power-centric routers. The paper selects 3
+     * with its event-based VC-request counting; our NI counts every
+     * waiting head every cycle (a stalled head re-asserts its request
+     * line), which accumulates faster, so the equivalent operating point
+     * is 2. Figure 7's bench sweeps this knob.
+     */
+    int nordPowerThreshold = 2;
+
+    /**
+     * Number of performance-centric routers. Negative means "use the
+     * Floyd-Warshall knee" (6 for the paper's 4x4 mesh).
+     */
+    int nordPerfCentricCount = -1;
+
+    /** Misrouted hops allowed before forcing escape VCs (Section 4.2). */
+    int nordMisrouteCap = 4;
+
+    /**
+     * Consecutive empty cycles before a power-centric NoRD router
+     * re-gates. Small (well below the breakeven time): NoRD's decoupling
+     * bypass lets these routers exploit even sub-BET idle periods
+     * (Section 4.5), while a few cycles of hold-off avoid re-gating
+     * between the flits of one burst.
+     */
+    int nordPowerSleepGuard = 6;
+
+    /**
+     * Consecutive empty cycles before a performance-centric NoRD router
+     * re-gates. Large: the complement of the low wakeup threshold --
+     * wake early, sleep late -- keeps the Figure 6 shortcut routers
+     * available through a traffic phase.
+     */
+    int nordPerfSleepGuard = 64;
+
+    /**
+     * NI starvation limit: bypass traffic yields to the local node after
+     * this many consecutive unserved cycles (Section 4.2).
+     */
+    int niStarvationLimit = 8;
+
+    /**
+     * Aggressive bypass (Section 6.8): when the latch, the staging
+     * register and the local injection path are all free, a flit cuts
+     * from the Bypass Inport to the Bypass Outport in a single cycle,
+     * "optimistically assuming there is no local flit to inject"; any
+     * conflict falls back to the 2-cycle bypass pipeline.
+     */
+    bool nordAggressiveBypass = false;
+
+    // --- Generic routing --------------------------------------------------
+    /**
+     * Adaptive heads that fail VC allocation this many consecutive cycles
+     * request an escape VC as well (guarantees Duato forward progress).
+     */
+    int escapeAfterBlockedCycles = 8;
+
+    // --- Simulation -------------------------------------------------------
+    std::uint64_t seed = 1;
+    Cycle statsWarmup = 0;        ///< packets created before this are not
+                                  ///< counted in latency statistics
+
+    // --- Derived helpers --------------------------------------------------
+    int numNodes() const { return rows * cols; }
+
+    /** Class of VC index @p vc. */
+    VcClass vcClassOf(VcId vc) const
+    {
+        return vc < numEscapeVcs ? VcClass::kEscape : VcClass::kAdaptive;
+    }
+
+    /** First VC index of @p c. */
+    VcId firstVcOf(VcClass c) const
+    {
+        return c == VcClass::kEscape ? 0 : numEscapeVcs;
+    }
+
+    /** Number of VCs in class @p c. */
+    int numVcsOf(VcClass c) const
+    {
+        return c == VcClass::kEscape ? numEscapeVcs
+                                     : numVcs - numEscapeVcs;
+    }
+
+    /** True when this design power-gates routers at all. */
+    bool gatingEnabled() const { return design != PgDesign::kNoPg; }
+
+    /** Abort with a message if the configuration is inconsistent. */
+    void validate() const;
+};
+
+}  // namespace nord
+
+#endif  // NORD_NETWORK_NOC_CONFIG_HH

@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Network assembly and run loop.
+ */
+
+#include "network/noc_system.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common/log.hh"
+#include "core/nord_controller.hh"
+
+namespace nord {
+
+namespace {
+
+/**
+ * The greedy Floyd-Warshall sweep is deterministic per mesh shape, so the
+ * performance-centric set is cached across NocSystem instances (benches
+ * construct many networks).
+ */
+const std::vector<double> &
+cachedSteering(const MeshTopology &mesh, const BypassRing &ring,
+               const std::vector<NodeId> &perfSet)
+{
+    static std::map<std::tuple<int, int, int>, std::vector<double>> cache;
+    auto key = std::make_tuple(mesh.rows(), mesh.cols(),
+                               static_cast<int>(perfSet.size()));
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        CriticalityAnalyzer analyzer(mesh, ring);
+        std::vector<bool> on(static_cast<size_t>(mesh.numNodes()), false);
+        for (NodeId r : perfSet)
+            on[r] = true;
+        it = cache.emplace(key,
+                           analyzer.distanceMatrixCycles(on)).first;
+    }
+    return it->second;
+}
+
+const std::vector<NodeId> &
+cachedPerfSet(const MeshTopology &mesh, const BypassRing &ring, int count)
+{
+    static std::map<std::tuple<int, int, int>, std::vector<NodeId>> cache;
+    auto key = std::make_tuple(mesh.rows(), mesh.cols(), count);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        CriticalityAnalyzer analyzer(mesh, ring);
+        it = cache.emplace(key, analyzer.performanceCentricSet(count)).first;
+    }
+    return it->second;
+}
+
+int
+cachedKnee(const MeshTopology &mesh, const BypassRing &ring)
+{
+    static std::map<std::pair<int, int>, int> cache;
+    auto key = std::make_pair(mesh.rows(), mesh.cols());
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        CriticalityAnalyzer analyzer(mesh, ring);
+        int knee = CriticalityAnalyzer::kneePoint(analyzer.greedySweep());
+        it = cache.emplace(key, knee).first;
+    }
+    return it->second;
+}
+
+}  // namespace
+
+NocSystem::NocSystem(const NocConfig &config)
+    : config_(config),
+      mesh_(config.rows, config.cols),
+      ring_(mesh_),
+      stats_(config.numNodes(), config.statsWarmup),
+      policy_(config_, mesh_, ring_),
+      ticker_(*this)
+{
+    config_.validate();
+    buildRouters();
+    buildLinks();
+    buildControllers();
+    registerAll();
+}
+
+NocSystem::~NocSystem() = default;
+
+void
+NocSystem::buildRouters()
+{
+    const int n = config_.numNodes();
+    routers_.reserve(n);
+    nis_.reserve(n);
+    for (NodeId id = 0; id < n; ++id) {
+        routers_.push_back(std::make_unique<Router>(id, config_, mesh_,
+                                                    ring_, stats_));
+        nis_.push_back(std::make_unique<NetworkInterface>(id, config_,
+                                                          stats_));
+    }
+    for (NodeId id = 0; id < n; ++id) {
+        routers_[id]->setNi(nis_[id].get());
+        routers_[id]->setRoutingPolicy(&policy_);
+        nis_[id]->setRouter(routers_[id].get());
+        nis_[id]->setPolicy(&policy_);
+        nis_[id]->setDeliveryCallback(
+            [this](const Flit &tail, Cycle now) {
+                if (workload_)
+                    workload_->onDelivery(tail, now);
+            });
+    }
+}
+
+void
+NocSystem::buildLinks()
+{
+    const int n = config_.numNodes();
+    for (NodeId id = 0; id < n; ++id) {
+        for (int d = 0; d < kNumMeshDirs; ++d) {
+            const Direction dir = indexDir(d);
+            const NodeId nb = mesh_.neighbor(id, dir);
+            if (nb == kInvalidNode)
+                continue;
+            // Flit link: router id, output dir -> router nb, input port
+            // opposite(dir). Credit link: flows back to id's output dir.
+            auto flink = std::make_unique<FlitLink>(routers_[nb].get(),
+                                                    opposite(dir));
+            auto clink = std::make_unique<CreditLink>(routers_[id].get(),
+                                                      dir);
+            routers_[id]->connectOutput(dir, routers_[nb].get(),
+                                        flink.get());
+            routers_[nb]->connectInput(opposite(dir), flink.get());
+            routers_[nb]->connectCreditReturn(opposite(dir), clink.get());
+            flitLinks_.push_back(std::move(flink));
+            creditLinks_.push_back(std::move(clink));
+        }
+    }
+}
+
+void
+NocSystem::buildControllers()
+{
+    const int n = config_.numNodes();
+    if (config_.design == PgDesign::kNord) {
+        int count = config_.nordPerfCentricCount;
+        if (count < 0)
+            count = cachedKnee(mesh_, ring_);
+        perfCentric_ = cachedPerfSet(mesh_, ring_, count);
+        policy_.setSteeringTable(
+            cachedSteering(mesh_, ring_, perfCentric_));
+    }
+    controllers_.reserve(n);
+    for (NodeId id = 0; id < n; ++id) {
+        Router &r = *routers_[id];
+        ActivityCounters &c = stats_.router(id);
+        switch (config_.design) {
+          case PgDesign::kNoPg:
+            controllers_.push_back(
+                std::make_unique<NoPgController>(r, config_, c));
+            break;
+          case PgDesign::kConvPg:
+            controllers_.push_back(
+                std::make_unique<ConvPgController>(r, config_, c, 0));
+            break;
+          case PgDesign::kConvPgOpt:
+            controllers_.push_back(std::make_unique<ConvPgController>(
+                r, config_, c, config_.convOptSleepGuard));
+            break;
+          case PgDesign::kNord: {
+            const bool perf =
+                std::find(perfCentric_.begin(), perfCentric_.end(), id) !=
+                perfCentric_.end();
+            const int threshold = perf ? config_.nordPerfThreshold
+                                       : config_.nordPowerThreshold;
+            const int guard = perf ? config_.nordPerfSleepGuard
+                                   : config_.nordPowerSleepGuard;
+            controllers_.push_back(std::make_unique<NordController>(
+                r, config_, c, *nis_[id], threshold, guard));
+            break;
+          }
+        }
+        routers_[id]->setController(controllers_.back().get());
+    }
+}
+
+void
+NocSystem::registerAll()
+{
+    // Per-cycle evaluation order: deliver link payloads, run router
+    // pipelines, generate workload traffic, run NIs (injection/ejection/
+    // bypass), then power-gating controllers (which therefore see WU
+    // requests raised this cycle, while their state changes are observed
+    // by neighbors next cycle).
+    for (auto &l : flitLinks_)
+        kernel_.add(l.get());
+    for (auto &l : creditLinks_)
+        kernel_.add(l.get());
+    for (auto &r : routers_)
+        kernel_.add(r.get());
+    kernel_.add(&ticker_);
+    for (auto &ni : nis_)
+        kernel_.add(ni.get());
+    for (auto &c : controllers_)
+        kernel_.add(c.get());
+}
+
+void
+NocSystem::setWorkload(Workload *workload)
+{
+    workload_ = workload;
+    if (workload_)
+        workload_->bind(*this);
+}
+
+void
+NocSystem::inject(NodeId src, NodeId dst, int length, std::uint64_t tag)
+{
+    NORD_ASSERT(mesh_.valid(src) && mesh_.valid(dst),
+                "bad packet endpoints %d -> %d", src, dst);
+    PacketDescriptor desc;
+    desc.src = src;
+    desc.dst = dst;
+    desc.length = length;
+    desc.createdAt = kernel_.now();
+    desc.tag = tag;
+    nis_[src]->enqueuePacket(desc);
+}
+
+void
+NocSystem::run(Cycle cycles)
+{
+    kernel_.run(cycles);
+}
+
+bool
+NocSystem::runToCompletion(Cycle maxCycles)
+{
+    bool ok = kernel_.runUntil(
+        [this] {
+            return (!workload_ || workload_->done()) && drained();
+        },
+        maxCycles);
+    finalizeStats();
+    return ok;
+}
+
+bool
+NocSystem::drained() const
+{
+    for (const auto &ni : nis_) {
+        if (!ni->idle())
+            return false;
+    }
+    for (const auto &r : routers_) {
+        if (!r->datapathEmpty())
+            return false;
+    }
+    for (const auto &l : flitLinks_) {
+        if (!l->empty())
+            return false;
+    }
+    // Credits still in flight mean upstream state is not settled.
+    for (const auto &l : creditLinks_) {
+        if (!l->empty())
+            return false;
+    }
+    return true;
+}
+
+int
+NocSystem::countInState(PowerState s) const
+{
+    int count = 0;
+    for (const auto &c : controllers_) {
+        if (c->state() == s)
+            ++count;
+    }
+    return count;
+}
+
+void
+NocSystem::dumpState(std::FILE *out) const
+{
+    std::fprintf(out, "=== NocSystem state at cycle %llu ===\n",
+                 static_cast<unsigned long long>(kernel_.now()));
+    for (const auto &r : routers_) {
+        if (!r->datapathEmpty() || r->powerState() != PowerState::kOn)
+            r->dumpState(out);
+    }
+    for (const auto &ni : nis_)
+        ni->dumpState(out);
+    for (const auto &l : flitLinks_) {
+        if (!l->empty())
+            std::fprintf(out, "link %s inflight=%zu\n", l->name().c_str(),
+                         l->inFlight());
+    }
+}
+
+void
+NocSystem::checkInvariants() const
+{
+    NORD_ASSERT(drained(), "checkInvariants requires a drained network");
+    NORD_ASSERT(stats_.packetsDelivered() == stats_.packetsCreated(),
+                "packets lost: %llu created, %llu delivered",
+                static_cast<unsigned long long>(stats_.packetsCreated()),
+                static_cast<unsigned long long>(
+                    stats_.packetsDelivered()));
+    NORD_ASSERT(stats_.flitsInjected() == stats_.flitsDelivered(),
+                "flits lost: %llu injected, %llu delivered",
+                static_cast<unsigned long long>(stats_.flitsInjected()),
+                static_cast<unsigned long long>(
+                    stats_.flitsDelivered()));
+    for (const auto &r : routers_)
+        r->checkQuiescent();
+    for (const auto &l : creditLinks_) {
+        NORD_ASSERT(l->empty(), "credit link %s still carrying credits",
+                    l->name().c_str());
+    }
+}
+
+void
+NocSystem::finalizeStats()
+{
+    stats_.finalize(kernel_.now());
+}
+
+}  // namespace nord

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Top-level facade: builds and runs one simulated on-chip network.
+ *
+ * A NocSystem assembles the mesh topology, the Bypass Ring, routers, NIs,
+ * links, per-design power-gating controllers and statistics, then drives
+ * them with a cycle-based kernel. This is the primary public entry point
+ * of the library:
+ *
+ * @code
+ *   NocConfig cfg;
+ *   cfg.design = PgDesign::kNord;
+ *   NocSystem sys(cfg);
+ *   UniformRandomTraffic traffic(cfg.numNodes(), 0.05, 42);
+ *   sys.setWorkload(&traffic);
+ *   sys.run(100000);
+ *   double lat = sys.stats().avgPacketLatency();
+ * @endcode
+ */
+
+#ifndef NORD_NETWORK_NOC_SYSTEM_HH
+#define NORD_NETWORK_NOC_SYSTEM_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "network/link.hh"
+#include "network/noc_config.hh"
+#include "ni/network_interface.hh"
+#include "powergate/pg_controller.hh"
+#include "router/router.hh"
+#include "routing/routing_policy.hh"
+#include "sim/kernel.hh"
+#include "stats/network_stats.hh"
+#include "topology/bypass_ring.hh"
+#include "topology/criticality.hh"
+#include "topology/mesh.hh"
+#include "traffic/workload.hh"
+
+namespace nord {
+
+/**
+ * One fully-wired simulated network.
+ */
+class NocSystem
+{
+  public:
+    explicit NocSystem(const NocConfig &config);
+    ~NocSystem();
+
+    NocSystem(const NocSystem &) = delete;
+    NocSystem &operator=(const NocSystem &) = delete;
+
+    /** Attach a traffic workload (not owned). */
+    void setWorkload(Workload *workload);
+
+    /** Run @p cycles cycles. */
+    void run(Cycle cycles);
+
+    /**
+     * Run until the workload reports done and the network has drained, or
+     * @p maxCycles elapse. Returns true on clean completion.
+     */
+    bool runToCompletion(Cycle maxCycles);
+
+    /** Current simulation cycle. */
+    Cycle now() const { return kernel_.now(); }
+
+    /** Inject one packet from @p src to @p dst (used by workloads). */
+    void inject(NodeId src, NodeId dst, int length, std::uint64_t tag = 0);
+
+    /** True when every queue, buffer, link and bypass latch is empty. */
+    bool drained() const;
+
+    // --- Component access ----------------------------------------------
+    const NocConfig &config() const { return config_; }
+    const MeshTopology &mesh() const { return mesh_; }
+    const BypassRing &ring() const { return ring_; }
+    NetworkStats &stats() { return stats_; }
+    const NetworkStats &stats() const { return stats_; }
+    Router &router(NodeId id) { return *routers_[id]; }
+    const Router &router(NodeId id) const { return *routers_[id]; }
+    NetworkInterface &ni(NodeId id) { return *nis_[id]; }
+    PgController &controller(NodeId id) { return *controllers_[id]; }
+
+    /** Performance-centric router set used for asymmetric thresholds. */
+    const std::vector<NodeId> &perfCentricRouters() const
+    {
+        return perfCentric_;
+    }
+
+    /** Number of routers currently in each power state. */
+    int countInState(PowerState s) const;
+
+    /** Finalize statistics (flush idle periods). Safe to call repeatedly. */
+    void finalizeStats();
+
+    /** Dump every non-idle component's state (diagnostics). */
+    void dumpState(std::FILE *out) const;
+
+    /**
+     * Verify whole-network conservation invariants on a drained network:
+     * every packet delivered, all credits home, no leaked VC or bypass
+     * state. Panics with a description on violation.
+     */
+    void checkInvariants() const;
+
+  private:
+    /** Cycle hook that forwards to the attached workload. */
+    class WorkloadTicker : public Clocked
+    {
+      public:
+        explicit WorkloadTicker(NocSystem &sys) : sys_(sys) {}
+        void tick(Cycle now) override
+        {
+            if (sys_.workload_)
+                sys_.workload_->tick(now);
+        }
+        std::string name() const override { return "workload"; }
+
+      private:
+        NocSystem &sys_;
+    };
+
+    void buildRouters();
+    void buildLinks();
+    void buildControllers();
+    void registerAll();
+
+    NocConfig config_;
+    MeshTopology mesh_;
+    BypassRing ring_;
+    NetworkStats stats_;
+    RoutingPolicy policy_;
+    SimKernel kernel_;
+
+    std::vector<std::unique_ptr<Router>> routers_;
+    std::vector<std::unique_ptr<NetworkInterface>> nis_;
+    std::vector<std::unique_ptr<PgController>> controllers_;
+    std::vector<std::unique_ptr<FlitLink>> flitLinks_;
+    std::vector<std::unique_ptr<CreditLink>> creditLinks_;
+    std::vector<NodeId> perfCentric_;
+    WorkloadTicker ticker_;
+    Workload *workload_ = nullptr;
+};
+
+}  // namespace nord
+
+#endif  // NORD_NETWORK_NOC_SYSTEM_HH

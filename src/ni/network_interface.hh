@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Network interface (NI) with the NoRD decoupling-bypass datapath
+ * (Section 4.2, Figure 4c).
+ *
+ * Normal duties: packetize node traffic into flits, allocate a VC and
+ * check credits on the router's local input port, inject one flit per
+ * cycle, and eject arriving flits to the node.
+ *
+ * NoRD additions (all always-on): a bypass latch with one slot per VC fed
+ * by the router's Bypass Inport, a demultiplexer that either sinks a
+ * latched flit locally or forwards it, and a multiplexer that re-injects
+ * forwarded flits (and local traffic, while the router is gated off) into
+ * the router's Bypass Outport. The three-stage bypass pipeline is:
+ *   (1) LT writes the flit into the bypass latch;
+ *   (2) the NI sinks it or allocates an output VC (checking credits);
+ *   (3) the flit is re-injected through the Bypass Outport (ST), then LT.
+ *
+ * The number of VC-allocation requests seen here per cycle is the NoRD
+ * wakeup metric (Section 4.3).
+ */
+
+#ifndef NORD_NI_NETWORK_INTERFACE_HH
+#define NORD_NI_NETWORK_INTERFACE_HH
+
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/flit.hh"
+#include "common/types.hh"
+#include "network/noc_config.hh"
+#include "sim/clocked.hh"
+#include "stats/network_stats.hh"
+
+namespace nord {
+
+class Router;
+class RoutingPolicy;
+
+/**
+ * One node's network interface.
+ */
+class NetworkInterface : public Clocked
+{
+  public:
+    /** Callback invoked when a packet's tail flit reaches the node. */
+    using DeliveryCallback = std::function<void(const Flit &, Cycle)>;
+
+    NetworkInterface(NodeId id, const NocConfig &config,
+                     NetworkStats &stats);
+
+    void setRouter(Router *router) { router_ = router; }
+    void setPolicy(const RoutingPolicy *policy) { policy_ = policy; }
+    void setDeliveryCallback(DeliveryCallback cb) { onDelivery_ = std::move(cb); }
+
+    NodeId id() const { return id_; }
+    std::string name() const override;
+
+    void tick(Cycle now) override;
+
+    // --- Node-facing interface --------------------------------------------
+    /** Packetize and queue a new packet for injection. */
+    void enqueuePacket(const PacketDescriptor &desc);
+
+    /** Flits waiting to enter the network. */
+    size_t injectionBacklog() const { return injectQ_.size(); }
+
+    /** True when no flit is queued, in flight to the node, or bypassing. */
+    bool idle() const
+    {
+        return injectQ_.empty() && ejectQ_.empty() && bypassQuiescent();
+    }
+
+    // --- Router-facing interface -------------------------------------------
+    /** A flit left the router's local output port; arrives at @p due. */
+    void acceptEjection(const Flit &flit, Cycle due);
+
+    /** Credit return for the router's local input port. */
+    void localCreditReturn(VcId vc);
+
+    // --- NoRD bypass --------------------------------------------------------
+    /**
+     * Decide whether a flit arriving on the Bypass Inport belongs to the
+     * bypass datapath (head: router not fully on; body/tail: follows its
+     * head). Registers/unregisters the packet as a bypass flow.
+     */
+    bool claimForBypass(const Flit &flit);
+
+    /** Stage 1: the link wrote @p flit into the bypass latch. */
+    void bypassLatchWrite(const Flit &flit, Cycle now);
+
+    /** Flits forwarded through the single-cycle aggressive cut-through. */
+    std::uint64_t aggressiveForwards() const { return aggressiveFwds_; }
+
+    /** Router gated off: the bypass datapath is now the only path. */
+    void enableBypass(Cycle now);
+
+    /** Router woke up: drain remaining bypass flows, then hand over. */
+    void beginBypassDrain(Cycle now);
+
+    /**
+     * True when no bypass state is live (latch empty, no staged flits, no
+     * claimed packets, no local packet mid-bypass). Conventional designs
+     * are always quiescent.
+     */
+    bool bypassQuiescent() const;
+
+    /** NoRD wakeup metric input: VC requests observed this cycle. */
+    int vcRequestsThisCycle() const { return vcRequests_; }
+
+    /**
+     * True when the bypass re-injection stage will drive the Bypass
+     * Outport this cycle; the router pipeline yields the port for one
+     * cycle (the physical mux in Figure 4b).
+     */
+    bool stage3Pending(Cycle now) const;
+
+    /** Packets whose tail reached this node (convenience for tests). */
+    std::uint64_t packetsReceived() const { return packetsReceived_; }
+
+    /** Dump bypass/injection state to @p out (diagnostics). */
+    void dumpState(std::FILE *out) const;
+
+  private:
+    struct LatchEntry
+    {
+        Flit flit;
+        Cycle allocReady;  ///< earliest cycle for stage 2
+    };
+
+    /** Stage-2 decision for the packet occupying one latch slot. */
+    struct ForwardState
+    {
+        bool active = false;
+        bool sink = false;
+        VcId outVc = kInvalidVc;
+    };
+
+    struct StagedFlit
+    {
+        Flit flit;
+        VcId outVc;
+        Cycle forwardReady;  ///< earliest cycle for stage 3
+    };
+
+    void processEjection(Cycle now);
+    void bypassStage3(Cycle now);
+    void bypassStage2(Cycle now);
+    void normalInjection(Cycle now);
+    void deliverFlit(const Flit &flit, Cycle now);
+
+    /** Stage-2 service of the flit at the front of latch slot @p slot. */
+    bool serveLatchSlot(int slot, Cycle now);
+
+    /** Stage-2 service of the local injection queue via the bypass. */
+    bool serveLocalBypass(Cycle now);
+
+    /** Bypass flow identity: one packet traversal on one input VC. */
+    static std::uint64_t flowKey(const Flit &flit)
+    {
+        return (flit.packet << 4) | static_cast<std::uint64_t>(flit.vc);
+    }
+
+    bool isNord() const { return config_.design == PgDesign::kNord; }
+
+    NodeId id_;
+    const NocConfig &config_;
+    NetworkStats &stats_;
+    ActivityCounters &counters_;
+    Router *router_ = nullptr;
+    const RoutingPolicy *policy_ = nullptr;
+    DeliveryCallback onDelivery_;
+
+    // Injection.
+    std::deque<Flit> injectQ_;
+    std::vector<int> localCredits_;   ///< router local-port buffer credits
+    VcId injectVc_ = kInvalidVc;      ///< VC of the packet being injected
+
+    // Ejection.
+    std::deque<std::pair<Flit, Cycle>> ejectQ_;
+    std::uint64_t packetsReceived_ = 0;
+
+    // Bypass.
+    std::vector<std::deque<LatchEntry>> latch_;  ///< one slot per VC
+    std::vector<ForwardState> fwd_;              ///< per latch slot
+    std::deque<StagedFlit> stage3_;
+    std::unordered_set<std::uint64_t> claimed_;  ///< live bypass flows
+    bool localBypassActive_ = false;  ///< local packet mid-bypass
+    VcId localBypassVc_ = kInvalidVc; ///< outVc held by that packet
+    int latchRr_ = 0;
+    int localStarve_ = 0;
+    int vcRequests_ = 0;
+    int latchOccupancy_ = 0;
+    bool ringOutBusy_ = false;  ///< Bypass Outport driven this cycle
+    std::uint64_t aggressiveFwds_ = 0;
+};
+
+}  // namespace nord
+
+#endif  // NORD_NI_NETWORK_INTERFACE_HH

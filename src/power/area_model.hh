@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Router area model (Section 6.8).
+ *
+ * Component areas are expressed in normalized gate-equivalent units at
+ * 45 nm: SRAM buffer cells, allocator/control logic, the crossbar, the
+ * power-gating sleep switches plus sleep-signal distribution, and NoRD's
+ * bypass hardware (per-VC latches, the ejection demux and injection mux,
+ * and the always-on forwarding control). The paper reports the NoRD
+ * additions at 3.1% over Conv_PG_OPT.
+ */
+
+#ifndef NORD_POWER_AREA_MODEL_HH
+#define NORD_POWER_AREA_MODEL_HH
+
+#include "common/types.hh"
+#include "network/noc_config.hh"
+
+namespace nord {
+
+/**
+ * Per-router area accounting (normalized units).
+ */
+class AreaModel
+{
+  public:
+    /**
+     * @param config network configuration (ports, VCs, buffer depth)
+     * @param flitBits link / flit width in bits (Table 1: 128)
+     */
+    explicit AreaModel(const NocConfig &config, int flitBits = 128);
+
+    /** Input buffer SRAM area. */
+    double bufferArea() const;
+
+    /** Allocators, routing logic, and clocking. */
+    double controlArea() const;
+
+    /** Crossbar area. */
+    double crossbarArea() const;
+
+    /** Baseline router area (no power-gating hardware). */
+    double baseRouterArea() const;
+
+    /** Sleep switches + sleep-signal distribution (any gated design). */
+    double pgSwitchArea() const;
+
+    /** NoRD: bypass latches, demux/mux, forwarding control. */
+    double nordBypassArea() const;
+
+    /** Total router area for a given design. */
+    double totalArea(PgDesign design) const;
+
+    /** Area overhead of @p design relative to @p baseline (e.g. 0.031). */
+    double overheadVs(PgDesign design, PgDesign baseline) const;
+
+  private:
+    const NocConfig &config_;
+    int flitBits_;
+};
+
+}  // namespace nord
+
+#endif  // NORD_POWER_AREA_MODEL_HH

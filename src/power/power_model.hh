@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Router / link / NI-bypass power model and energy accounting.
+ *
+ * Per-event dynamic energies and per-component static powers in the style
+ * of Orion 2.0, converted to Joules from the counters in NetworkStats.
+ * Absolute magnitudes are calibrated to the paper's anchors (see
+ * tech_params.hh); relative comparisons across the four designs are the
+ * quantity of interest.
+ */
+
+#ifndef NORD_POWER_POWER_MODEL_HH
+#define NORD_POWER_POWER_MODEL_HH
+
+#include "common/types.hh"
+#include "network/noc_config.hh"
+#include "power/tech_params.hh"
+#include "stats/network_stats.hh"
+
+namespace nord {
+
+/**
+ * Energy totals for one simulation, in Joules (Figure 10's categories).
+ */
+struct EnergyBreakdown
+{
+    double routerStatic = 0.0;   ///< leakage of routers (on + waking +
+                                 ///< always-on residue while off)
+    double routerDynamic = 0.0;  ///< switching energy incl. NI bypass
+    double linkStatic = 0.0;
+    double linkDynamic = 0.0;
+    double pgOverhead = 0.0;     ///< sleep-signal distribution + wakeup
+
+    double total() const
+    {
+        return routerStatic + routerDynamic + linkStatic + linkDynamic +
+               pgOverhead;
+    }
+
+    /** Average power in watts over @p cycles at @p cycleTime seconds. */
+    double averagePowerW(Cycle cycles, double cycleTime) const
+    {
+        if (cycles == 0)
+            return 0.0;
+        return total() / (static_cast<double>(cycles) * cycleTime);
+    }
+};
+
+/**
+ * The power model proper.
+ */
+class PowerModel
+{
+  public:
+    explicit PowerModel(const TechParams &tech = TechParams::paperDefault());
+
+    // --- Static power (W) --------------------------------------------------
+    /** Full router leakage (buffers + VA + SA + crossbar + clock). */
+    double routerStaticPower() const;
+
+    /**
+     * Leakage that survives gating: the PG controller (all designs) plus
+     * the NI bypass latches/muxes and output latch (NoRD).
+     */
+    double gatedResidualPower(PgDesign design) const;
+
+    /** Per-link leakage (links are never gated in this study). */
+    double linkStaticPower() const;
+
+    // Static component shares of routerStaticPower() (Figure 1b):
+    static constexpr double kBufferStaticShare = 0.55;
+    static constexpr double kVaStaticShare = 0.18;
+    static constexpr double kSaStaticShare = 0.05;
+    static constexpr double kXbarStaticShare = 0.13;
+    static constexpr double kClockStaticShare = 0.09;
+
+    // --- Dynamic energy (J per event) ---------------------------------------
+    double bufferWriteEnergy() const;
+    double bufferReadEnergy() const;
+    double vcAllocEnergy() const;
+    double swAllocEnergy() const;
+    double xbarEnergy() const;
+    double linkTraversalEnergy() const;
+    double bypassLatchEnergy() const;    ///< NI bypass latch write
+    double bypassForwardEnergy() const;  ///< NI demux/mux + re-drive
+
+    /** Dynamic energy of one flit-hop through a full router (no link). */
+    double routerHopEnergy() const;
+
+    // --- Power gating --------------------------------------------------------
+    /**
+     * Energy overhead of one sleep/wake round trip: distributing the
+     * sleep signal and restoring virtual Vdd. Defined so the breakeven
+     * time is @p betCycles cycles of full router leakage.
+     */
+    double wakeupOverheadEnergy(int betCycles) const;
+
+    /** Breakeven time implied by an overhead of @p overheadJ. */
+    double breakEvenCycles(double overheadJ) const;
+
+    /**
+     * Reference activity (router flit-hops per cycle) at which the
+     * Figure 1 static/dynamic shares are evaluated.
+     */
+    static constexpr double kReferenceActivity = 0.84;
+
+    /** Static share of router power at the reference activity (Fig. 1a). */
+    double staticShareAtReference() const;
+
+    // --- Energy accounting ----------------------------------------------------
+    /**
+     * Convert simulation counters to Joules.
+     *
+     * @param stats the finished run's statistics
+     * @param cycles simulated cycles
+     * @param numLinks number of (unidirectional) mesh links
+     * @param design which design ran (selects the gated residual and
+     *        whether off-cycles leak)
+     */
+    EnergyBreakdown compute(const NetworkStats &stats, Cycle cycles,
+                            int numLinks, PgDesign design,
+                            int betCycles = 10) const;
+
+    const TechParams &tech() const { return tech_; }
+
+  private:
+    TechParams tech_;
+};
+
+}  // namespace nord
+
+#endif  // NORD_POWER_POWER_MODEL_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Technology scaling tables.
+ */
+
+#include "power/tech_params.hh"
+
+namespace nord {
+
+const char *
+techNodeName(TechNode node)
+{
+    switch (node) {
+      case TechNode::k65nm: return "65nm";
+      case TechNode::k45nm: return "45nm";
+      case TechNode::k32nm: return "32nm";
+    }
+    return "?";
+}
+
+TechParams
+TechParams::paperDefault()
+{
+    return TechParams{TechNode::k45nm, 1.1, 3.0};
+}
+
+double
+TechParams::capacitanceRatio() const
+{
+    // Effective switched capacitance shrinks with feature size.
+    switch (node) {
+      case TechNode::k65nm: return 1.0 / 0.55;
+      case TechNode::k45nm: return 1.0;
+      case TechNode::k32nm: return 0.35 / 0.55;
+    }
+    return 1.0;
+}
+
+double
+TechParams::staticAnchorWatts() const
+{
+    // Calibrated so the static share of router power at the reference
+    // activity hits the paper's 17.9% / 35.4% / 47.7% at each node's
+    // anchor voltage (see Figure 1a).
+    switch (node) {
+      case TechNode::k65nm: return 0.127;
+      case TechNode::k45nm: return 0.150;
+      case TechNode::k32nm: return 0.129;
+    }
+    return 0.150;
+}
+
+double
+TechParams::anchorVoltage() const
+{
+    switch (node) {
+      case TechNode::k65nm: return 1.2;
+      case TechNode::k45nm: return 1.1;
+      case TechNode::k32nm: return 1.0;
+    }
+    return 1.1;
+}
+
+double
+TechParams::staticScale() const
+{
+    const double anchor45 = 0.150;
+    return (staticAnchorWatts() / anchor45) * (voltage / anchorVoltage());
+}
+
+double
+TechParams::dynamicScale() const
+{
+    const double v = voltage / 1.1;
+    return capacitanceRatio() * v * v;
+}
+
+}  // namespace nord

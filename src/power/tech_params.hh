@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Technology scaling parameters (Section 2.1, Figure 1).
+ *
+ * The model follows Orion 2.0's structure -- per-component static power
+ * plus per-event dynamic energy -- with scaling anchors calibrated to the
+ * paper's published aggregates:
+ *   - router static share of 17.9% at 65 nm / 1.2 V,
+ *     35.4% at 45 nm / 1.1 V and 47.7% at 32 nm / 1.0 V at the PARSEC
+ *     reference activity;
+ *   - at 45 nm / 1.0 V, dynamic = 62% of router power and buffers = 55%
+ *     of the static power (Figure 1b);
+ *   - breakeven time ~= 10 cycles and wakeup latency 12 cycles at 3 GHz.
+ *
+ * Static power scales ~ V (subthreshold leakage current at fixed
+ * temperature), dynamic energy ~ C(node) * V^2.
+ */
+
+#ifndef NORD_POWER_TECH_PARAMS_HH
+#define NORD_POWER_TECH_PARAMS_HH
+
+namespace nord {
+
+/** Manufacturing process node. */
+enum class TechNode
+{
+    k65nm,
+    k45nm,
+    k32nm,
+};
+
+/** Name string ("65nm", ...). */
+const char *techNodeName(TechNode node);
+
+/**
+ * One (process node, operating voltage, frequency) operating point.
+ */
+struct TechParams
+{
+    TechNode node = TechNode::k45nm;
+    double voltage = 1.1;        ///< V
+    double frequencyGHz = 3.0;   ///< router clock
+
+    /** The paper's operating point: 45 nm, 1.1 V, 3 GHz. */
+    static TechParams paperDefault();
+
+    /** Clock period in seconds. */
+    double cycleTime() const { return 1e-9 / frequencyGHz; }
+
+    /**
+     * Static-power scale factor relative to the 45 nm / 1.1 V anchor.
+     * Captures both the per-node leakage magnitude and ~V dependence.
+     */
+    double staticScale() const;
+
+    /**
+     * Dynamic-energy scale factor relative to the 45 nm / 1.1 V anchor
+     * (effective capacitance ratio times (V/1.1)^2).
+     */
+    double dynamicScale() const;
+
+    /** Per-node effective-capacitance ratio relative to 45 nm. */
+    double capacitanceRatio() const;
+
+    /** Per-node leakage anchor (W per router at the node's paper V). */
+    double staticAnchorWatts() const;
+
+    /** The voltage each node is paired with in the paper's headline. */
+    double anchorVoltage() const;
+};
+
+}  // namespace nord
+
+#endif  // NORD_POWER_TECH_PARAMS_HH

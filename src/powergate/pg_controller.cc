@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Power-gating controller FSM implementation.
+ */
+
+#include "powergate/pg_controller.hh"
+
+#include "common/log.hh"
+#include "router/router.hh"
+#include "stats/network_stats.hh"
+
+namespace nord {
+
+PgController::PgController(Router &router, const NocConfig &config,
+                           ActivityCounters &counters)
+    : router_(router), config_(config), counters_(counters)
+{
+}
+
+std::string
+PgController::name() const
+{
+    return "pg" + std::to_string(router_.id());
+}
+
+void
+PgController::requestWakeup(Cycle)
+{
+    if (state_ != PowerState::kOn)
+        wakeRequested_ = true;
+}
+
+bool
+PgController::sleepAllowed(Cycle now) const
+{
+    return router_.datapathEmpty() && !router_.icIncoming(now) &&
+           !wakeRequested_;
+}
+
+void
+PgController::beginSleep(Cycle now)
+{
+    NORD_ASSERT(state_ == PowerState::kOn, "sleep from state %s",
+                powerStateName(state_));
+    state_ = PowerState::kOff;
+    ++counters_.sleeps;
+    router_.onSleep(now);
+}
+
+void
+PgController::beginWakeup(Cycle now)
+{
+    NORD_ASSERT(state_ == PowerState::kOff, "wakeup from state %s",
+                powerStateName(state_));
+    state_ = PowerState::kWakingUp;
+    wakeDone_ = now + config_.wakeupLatency;
+    ++counters_.wakeups;
+}
+
+void
+PgController::tick(Cycle now)
+{
+    // Track the length of the current empty run for sleep-guard policies.
+    bool empty = router_.datapathEmpty();
+    if (empty && !wasEmpty_)
+        emptySince_ = now;
+    wasEmpty_ = empty;
+
+    // Complete an in-flight Vdd ramp. The WU level stays asserted through
+    // the completion cycle so the sleep policy cannot re-gate before the
+    // requester has had a cycle to use the router.
+    if (state_ == PowerState::kWakingUp && now >= wakeDone_) {
+        state_ = PowerState::kOn;
+        wakeDone_ = kNeverCycle;
+        router_.onWake(now);
+    }
+
+    policy(now);
+
+    // WU is a level signal: requesters re-assert it every cycle they
+    // still need the router, so consume it once evaluated while on.
+    if (state_ == PowerState::kOn)
+        wakeRequested_ = false;
+
+    switch (state_) {
+      case PowerState::kOn: ++counters_.onCycles; break;
+      case PowerState::kOff: ++counters_.offCycles; break;
+      case PowerState::kWakingUp: ++counters_.wakingCycles; break;
+    }
+}
+
+void
+NoPgController::requestWakeup(Cycle)
+{
+    // Never gated, so nothing to wake.
+}
+
+ConvPgController::ConvPgController(Router &router, const NocConfig &config,
+                                   ActivityCounters &counters,
+                                   int sleepGuard)
+    : PgController(router, config, counters), sleepGuard_(sleepGuard)
+{
+}
+
+void
+ConvPgController::policy(Cycle now)
+{
+    switch (state_) {
+      case PowerState::kOn:
+        if (sleepAllowed(now) && wasEmpty_ &&
+            now - emptySince_ >= static_cast<Cycle>(sleepGuard_)) {
+            beginSleep(now);
+        }
+        break;
+      case PowerState::kOff:
+        if (wakeRequested_)
+            beginWakeup(now);
+        break;
+      case PowerState::kWakingUp:
+        break;
+    }
+}
+
+}  // namespace nord

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Power-gating controller interface and the shared gated-on/off FSM.
+ *
+ * Every router owns one controller -- a small always-on circuit block that
+ * monitors datapath emptiness and the PG/WU/IC handshake signals
+ * (Sections 3.1 and 4.3) and drives the sleep signal. The controller is
+ * ticked after routers and NIs each cycle, so wakeup requests raised during
+ * the current cycle are seen the same cycle, while a state change becomes
+ * visible to neighbors at the next cycle (one cycle of signal propagation).
+ */
+
+#ifndef NORD_POWERGATE_PG_CONTROLLER_HH
+#define NORD_POWERGATE_PG_CONTROLLER_HH
+
+#include <string>
+
+#include "common/types.hh"
+#include "network/noc_config.hh"
+#include "sim/clocked.hh"
+
+namespace nord {
+
+class Router;
+struct ActivityCounters;
+
+/**
+ * Base power-gating controller: holds the power-state FSM, residency
+ * counters and wakeup bookkeeping. Subclasses implement the sleep and
+ * wake policies.
+ */
+class PgController : public Clocked
+{
+  public:
+    PgController(Router &router, const NocConfig &config,
+                 ActivityCounters &counters);
+
+    /** Current power state of the controlled router. */
+    PowerState state() const { return state_; }
+
+    /** PG handshake signal: asserted whenever the router is not fully on. */
+    bool pgAsserted() const { return state_ != PowerState::kOn; }
+
+    /**
+     * Wakeup (WU) request from a neighbor's allocation stage or the local
+     * NI. Ignored while already on or waking.
+     */
+    virtual void requestWakeup(Cycle now);
+
+    /** Residency accounting plus the subclass policy. */
+    void tick(Cycle now) override;
+
+    std::string name() const override;
+
+  protected:
+    /** Policy hook, called once per cycle after residency accounting. */
+    virtual void policy(Cycle now) = 0;
+
+    /**
+     * True when the router may be gated off this cycle: datapath empty,
+     * no incoming (IC) flits in flight, no pending wakeup request.
+     */
+    bool sleepAllowed(Cycle now) const;
+
+    /** Assert the sleep signal: transition On -> Off. */
+    void beginSleep(Cycle now);
+
+    /** De-assert the sleep signal: transition Off -> WakingUp. */
+    void beginWakeup(Cycle now);
+
+    Router &router_;
+    const NocConfig &config_;
+    ActivityCounters &counters_;
+
+    PowerState state_ = PowerState::kOn;
+    bool wakeRequested_ = false;
+    Cycle wakeDone_ = kNeverCycle;   ///< cycle the Vdd ramp completes
+    Cycle emptySince_ = 0;           ///< first cycle of the current empty run
+    bool wasEmpty_ = false;
+};
+
+/** Always-on controller for the No_PG baseline. */
+class NoPgController : public PgController
+{
+  public:
+    using PgController::PgController;
+    void requestWakeup(Cycle now) override;
+
+  protected:
+    void policy(Cycle) override {}
+};
+
+/**
+ * Conventional power-gating (Conv_PG / Conv_PG_OPT, Section 3.1).
+ *
+ * Gates off as soon as the router datapath is empty (after @p sleepGuard
+ * consecutive empty cycles for the OPT variant) and wakes on a WU request
+ * from a neighbor's pipeline or the local NI.
+ */
+class ConvPgController : public PgController
+{
+  public:
+    /**
+     * @param sleepGuard consecutive empty cycles required before gating
+     *        (0 for Conv_PG, convOptSleepGuard for Conv_PG_OPT)
+     */
+    ConvPgController(Router &router, const NocConfig &config,
+                     ActivityCounters &counters, int sleepGuard);
+
+  protected:
+    void policy(Cycle now) override;
+
+  private:
+    int sleepGuard_;
+};
+
+}  // namespace nord
+
+#endif  // NORD_POWERGATE_PG_CONTROLLER_HH

@@ -1,0 +1,703 @@
+/**
+ * @file
+ * Wormhole VC router pipeline implementation.
+ */
+
+#include "router/router.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "common/trace.hh"
+#include "ni/network_interface.hh"
+
+namespace nord {
+
+Router::Router(NodeId id, const NocConfig &config, const MeshTopology &mesh,
+               const BypassRing &ring, NetworkStats &stats)
+    : id_(id), config_(config), mesh_(mesh), ring_(ring), stats_(stats),
+      counters_(stats.router(id))
+{
+    for (auto &ip : inputs_)
+        ip.vcs.resize(static_cast<size_t>(config_.numVcs));
+    for (auto &op : outputs_) {
+        op.credits.assign(static_cast<size_t>(config_.numVcs),
+                          config_.bufferDepth);
+        op.outVcBusy.assign(static_cast<size_t>(config_.numVcs), false);
+    }
+    // The local "output" is the ejection path into the NI, which always
+    // accepts one flit per cycle; model it as an infinite sink.
+    outputs_[dirIndex(Direction::kLocal)].credits.assign(
+        static_cast<size_t>(config_.numVcs), 1 << 20);
+}
+
+std::string
+Router::name() const
+{
+    return "router" + std::to_string(id_);
+}
+
+void
+Router::connectOutput(Direction d, Router *neighbor, FlitLink *link)
+{
+    OutputPort &op = outputs_[dirIndex(d)];
+    op.neighbor = neighbor;
+    op.link = link;
+}
+
+void
+Router::connectCreditReturn(Direction inPort, CreditLink *link)
+{
+    inputs_[dirIndex(inPort)].creditReturn = link;
+}
+
+void
+Router::connectInput(Direction inPort, FlitLink *link)
+{
+    inputs_[dirIndex(inPort)].inLink = link;
+}
+
+void
+Router::setController(PgController *controller)
+{
+    controller_ = controller;
+}
+
+bool
+Router::datapathEmpty() const
+{
+    for (const auto &ip : inputs_) {
+        for (const auto &vc : ip.vcs) {
+            if (!vc.buffer.empty() ||
+                vc.state != VirtualChannel::State::kIdle) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool
+Router::allCreditsHome(Direction d) const
+{
+    const OutputPort &op = outputs_[dirIndex(d)];
+    if (!op.neighbor)
+        return true;
+    for (VcId v = 0; v < config_.numVcs; ++v) {
+        if (op.credits[v] != config_.bufferDepth)
+            return false;
+    }
+    return true;
+}
+
+bool
+Router::icIncoming(Cycle now) const
+{
+    for (int d = 0; d < kNumMeshDirs; ++d) {
+        const Direction dir = indexDir(d);
+        const Router *nb = outputs_[d].neighbor;
+        if (nb && nb->icUntil(opposite(dir)) >= now)
+            return true;
+        // A neighbor holding any credit of ours has committed (or may
+        // still commit) flits towards us: stay awake until they are home.
+        if (nb && !nb->allCreditsHome(opposite(dir)))
+            return true;
+        const FlitLink *inLink = inputs_[d].inLink;
+        if (inLink && !inLink->empty())
+            return true;
+    }
+    return false;
+}
+
+int
+Router::bufferedFlits() const
+{
+    int total = 0;
+    for (const auto &ip : inputs_) {
+        for (const auto &vc : ip.vcs)
+            total += static_cast<int>(vc.buffer.size());
+    }
+    return total;
+}
+
+void
+Router::acceptFlit(Direction inPort, const Flit &flit, Cycle now)
+{
+    // NoRD: ring traffic bound for the NI bypass latch while this router
+    // is gated off (or still draining a bypass packet after waking).
+    if (config_.design == PgDesign::kNord &&
+        inPort == ring_.bypassInport(id_) &&
+        ni_->claimForBypass(flit)) {
+        tracePacket(flit.packet, now, "latch write at %d seq %d vc %d",
+                    id_, flit.seq, flit.vc);
+        ni_->bypassLatchWrite(flit, now);
+        return;
+    }
+    tracePacket(flit.packet, now, "buffer write at %d port %s seq %d vc %d",
+                id_, dirName(inPort), flit.seq, flit.vc);
+
+    NORD_ASSERT(powerState() == PowerState::kOn,
+                "router %d received flit of packet %llu (type %d seq %d "
+                "src %d dst %d vc %d) on port %s while %s",
+                id_, static_cast<unsigned long long>(flit.packet),
+                static_cast<int>(flit.type), flit.seq, flit.src, flit.dst,
+                flit.vc, dirName(inPort), powerStateName(powerState()));
+    InputPort &ip = inputs_[dirIndex(inPort)];
+    NORD_ASSERT(flit.vc >= 0 && flit.vc < config_.numVcs, "bad vc %d",
+                flit.vc);
+    VirtualChannel &vc = ip.vcs[flit.vc];
+    NORD_ASSERT(static_cast<int>(vc.buffer.size()) < config_.bufferDepth,
+                "buffer overflow at router %d port %s vc %d", id_,
+                dirName(inPort), flit.vc);
+    vc.buffer.push_back(flit);
+    ++counters_.bufferWrites;
+}
+
+void
+Router::acceptCredit(Direction outPort, VcId vc, Cycle)
+{
+    OutputPort &op = outputs_[dirIndex(outPort)];
+    ++op.credits[vc];
+    NORD_ASSERT(op.credits[vc] <= config_.bufferDepth,
+                "credit overflow at router %d port %s vc %d", id_,
+                dirName(outPort), vc);
+}
+
+void
+Router::enqueueLocal(const Flit &flit, Cycle)
+{
+    NORD_ASSERT(powerState() == PowerState::kOn,
+                "NI injected into gated router %d", id_);
+    InputPort &ip = inputs_[dirIndex(Direction::kLocal)];
+    VirtualChannel &vc = ip.vcs[flit.vc];
+    NORD_ASSERT(static_cast<int>(vc.buffer.size()) < config_.bufferDepth,
+                "local buffer overflow at router %d vc %d", id_, flit.vc);
+    vc.buffer.push_back(flit);
+    ++counters_.bufferWrites;
+}
+
+bool
+Router::localVcIdle(VcId vc) const
+{
+    const auto &v = inputs_[dirIndex(Direction::kLocal)].vcs[vc];
+    return v.state == VirtualChannel::State::kIdle && v.buffer.empty();
+}
+
+void
+Router::onSleep(Cycle now)
+{
+    NORD_ASSERT(datapathEmpty(), "router %d gated off while non-empty",
+                id_);
+    if (config_.design == PgDesign::kNord)
+        ni_->enableBypass(now);
+}
+
+void
+Router::onWake(Cycle now)
+{
+    if (config_.design == PgDesign::kNord)
+        ni_->beginBypassDrain(now);
+}
+
+void
+Router::observeNeighborPower(Cycle)
+{
+    const Direction ringOut = ring_.bypassOutport(id_);
+    for (int d = 0; d < kNumMeshDirs; ++d) {
+        OutputPort &op = outputs_[d];
+        if (!op.neighbor)
+            continue;
+        const bool pg = op.neighbor->pgAsserted();
+        if (pg == op.gatedView)
+            continue;
+        op.gatedView = pg;
+        const bool isRingEdge = config_.design == PgDesign::kNord &&
+                                indexDir(d) == ringOut;
+        if (pg) {
+            // Downstream gated off: heads committed to this output restart
+            // from RC (Section 4.3); the ring predecessor drops its credit
+            // view to the single NI bypass latch slot per VC.
+            if (!isRingEdge)
+                restartHeadsOn(indexDir(d));
+            if (isRingEdge) {
+                for (VcId v = 0; v < config_.numVcs; ++v) {
+                    NORD_ASSERT(op.credits[v] == config_.bufferDepth,
+                                "router %d: credits not home when %d gated",
+                                id_, op.neighbor->id());
+                    op.credits[v] = 1;
+                }
+            }
+        } else {
+            // Downstream woke up: restore the credit view.
+            for (VcId v = 0; v < config_.numVcs; ++v) {
+                if (isRingEdge) {
+                    op.credits[v] += config_.bufferDepth - 1;
+                    NORD_ASSERT(op.credits[v] <= config_.bufferDepth,
+                                "credit overflow on wake at router %d", id_);
+                } else {
+                    op.credits[v] = config_.bufferDepth;
+                }
+            }
+        }
+    }
+}
+
+void
+Router::restartHeadsOn(Direction d)
+{
+    for (auto &ip : inputs_) {
+        for (auto &vc : ip.vcs) {
+            if (vc.state == VirtualChannel::State::kActive &&
+                vc.outPort == d) {
+                NORD_ASSERT(!vc.sentAny,
+                            "router %d: neighbor gated mid-packet", id_);
+                outputs_[dirIndex(d)].outVcBusy[vc.outVc] = false;
+                vc.outVc = kInvalidVc;
+                vc.state = VirtualChannel::State::kVcAlloc;
+            }
+        }
+    }
+}
+
+bool
+Router::outputUsable(Direction d) const
+{
+    if (d == Direction::kLocal)
+        return true;
+    const OutputPort &op = outputs_[dirIndex(d)];
+    if (!op.gatedView)
+        return true;
+    // Gated downstream: NoRD may still use the ring edge into the
+    // neighbor's NI bypass latch; conventional designs must wait for it
+    // to wake up.
+    return config_.design == PgDesign::kNord &&
+           d == ring_.bypassOutport(id_);
+}
+
+bool
+Router::outputAllocatable(Direction) const
+{
+    // VA never needs to hold back: bypass-drain flits and pipeline flits
+    // share the Bypass Outport cycle-by-cycle in SA (see outputUsable),
+    // so allocation hoarding cannot deadlock the drain.
+    return true;
+}
+
+VcId
+Router::bypassAllocOutVc(VcClass cls, int escLevel)
+{
+    OutputPort &op = outputs_[dirIndex(ring_.bypassOutport(id_))];
+    VcId first;
+    VcId last;
+    if (cls == VcClass::kEscape) {
+        NORD_ASSERT(escLevel >= 0, "ring escape needs an explicit level");
+        first = config_.firstVcOf(VcClass::kEscape) + escLevel;
+        last = first;
+    } else {
+        first = config_.firstVcOf(VcClass::kAdaptive);
+        last = first + config_.numVcsOf(VcClass::kAdaptive) - 1;
+    }
+    for (VcId v = first; v <= last; ++v) {
+        if (!op.outVcBusy[v] && op.credits[v] > 0) {
+            // Stage 2 allocates the VC and reserves the credit together
+            // (Section 4.2 step 2), so a committed flit never blocks.
+            op.outVcBusy[v] = true;
+            --op.credits[v];
+            return v;
+        }
+    }
+    return kInvalidVc;
+}
+
+bool
+Router::bypassCreditAvailable(VcId outVc) const
+{
+    const OutputPort &op = outputs_[dirIndex(ring_.bypassOutport(id_))];
+    return op.credits[outVc] > 0;
+}
+
+void
+Router::bypassReserveCredit(VcId outVc)
+{
+    OutputPort &op = outputs_[dirIndex(ring_.bypassOutport(id_))];
+    --op.credits[outVc];
+    NORD_ASSERT(op.credits[outVc] >= 0, "negative bypass credits at %d",
+                id_);
+}
+
+void
+Router::bypassSendFlit(Flit flit, VcId outVc, Cycle now)
+{
+    OutputPort &op = outputs_[dirIndex(ring_.bypassOutport(id_))];
+    // The credit was reserved in stage 2.
+    flit.vc = outVc;
+    flit.hops = static_cast<std::int16_t>(flit.hops + 1);
+    tracePacket(flit.packet, now, "bypass send at %d seq %d outvc %d", id_,
+                flit.seq, outVc);
+    op.link->push(flit, now + 1);
+    op.icUntil = std::max(op.icUntil, now + 1);
+    ++counters_.bypassForwards;
+    ++counters_.linkTraversals;
+    if (flitIsTail(flit))
+        op.outVcBusy[outVc] = false;
+}
+
+void
+Router::bypassCreditReturn(VcId slot, Cycle now)
+{
+    CreditLink *cl =
+        inputs_[dirIndex(ring_.bypassInport(id_))].creditReturn;
+    NORD_ASSERT(cl != nullptr, "no credit return on bypass inport of %d",
+                id_);
+    cl->push(slot, now + 1);
+}
+
+bool
+Router::tryAllocOutVc(VirtualChannel &vc, Direction outPort, VcClass cls,
+                      int escLevel)
+{
+    OutputPort &op = outputs_[dirIndex(outPort)];
+    VcId first;
+    VcId last;  // inclusive
+    if (cls == VcClass::kEscape) {
+        if (escLevel >= 0) {
+            first = config_.firstVcOf(VcClass::kEscape) + escLevel;
+            last = first;
+        } else {
+            first = config_.firstVcOf(VcClass::kEscape);
+            last = first + config_.numVcsOf(VcClass::kEscape) - 1;
+        }
+    } else {
+        first = config_.firstVcOf(VcClass::kAdaptive);
+        last = first + config_.numVcsOf(VcClass::kAdaptive) - 1;
+    }
+    for (VcId v = first; v <= last; ++v) {
+        if (!op.outVcBusy[v]) {
+            op.outVcBusy[v] = true;
+            vc.outPort = outPort;
+            vc.outVc = v;
+            vc.state = VirtualChannel::State::kActive;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Router::vcAllocation(Cycle now)
+{
+    for (int p = 0; p < kNumPorts; ++p) {
+        InputPort &ip = inputs_[p];
+        const Direction inDir = indexDir(p);
+        for (auto &vc : ip.vcs) {
+            if (vc.state != VirtualChannel::State::kVcAlloc ||
+                vc.vaEarliest > now) {
+                continue;
+            }
+            NORD_ASSERT(!vc.buffer.empty() && flitIsHead(vc.buffer.front()),
+                        "VcAlloc state without a head flit at router %d",
+                        id_);
+            Flit &head = vc.buffer.front();
+            RouteRequest req = policy_->route(id_, head, inDir, *this);
+
+            bool granted = false;
+            RouteCandidate taken{};
+            if (!req.mustEscape) {
+                for (const RouteCandidate &cand : req.adaptive) {
+                    if (!outputAllocatable(cand.dir))
+                        continue;
+                    if (tryAllocOutVc(vc, cand.dir, VcClass::kAdaptive,
+                                      -1)) {
+                        granted = true;
+                        taken = cand;
+                        break;
+                    }
+                }
+            }
+            if (granted) {
+                if (taken.nonMinimal)
+                    ++head.misroutes;
+            } else {
+                // Duato escape path: forced, or adaptive starved too long.
+                ++vc.blockedCycles;
+                const bool tryEscape = req.mustEscape ||
+                    req.adaptive.empty() ||
+                    vc.blockedCycles >= config_.escapeAfterBlockedCycles;
+                if (tryEscape && outputAllocatable(req.escapeDir)) {
+                    int level = policy_->escapeVcLevel(id_, req.escapeDir,
+                                                       head);
+                    if (tryAllocOutVc(vc, req.escapeDir, VcClass::kEscape,
+                                      level)) {
+                        granted = true;
+                        head.onEscape = true;
+                        if (level >= 0)
+                            head.escLevel = static_cast<std::int8_t>(level);
+                    }
+                }
+            }
+            if (granted) {
+                vc.saEarliest = now + 1;
+                vc.blockedCycles = 0;
+                ++counters_.vcAllocs;
+            }
+        }
+    }
+}
+
+void
+Router::switchAllocation(Cycle now)
+{
+    // Stage 1: each input port nominates one ready VC (round-robin).
+    std::array<int, kNumPorts> nominee;
+    nominee.fill(-1);
+    for (int p = 0; p < kNumPorts; ++p) {
+        InputPort &ip = inputs_[p];
+        const int numVcs = config_.numVcs;
+        for (int k = 0; k < numVcs; ++k) {
+            const int v = (ip.rrVc + k) % numVcs;
+            VirtualChannel &vc = ip.vcs[v];
+            if (vc.state != VirtualChannel::State::kActive ||
+                vc.buffer.empty() || vc.saEarliest > now) {
+                continue;
+            }
+            const int op = dirIndex(vc.outPort);
+            if (config_.design == PgDesign::kNord &&
+                vc.outPort == ring_.bypassOutport(id_) &&
+                ni_->stage3Pending(now)) {
+                // The NI bypass re-injection owns the Bypass Outport mux
+                // this cycle; retry next cycle.
+                continue;
+            }
+            if (!outputUsable(vc.outPort)) {
+                // Conventional designs: the SA request to a gated neighbor
+                // raises the WU signal and the flit stalls (Section 3.1).
+                if (outputs_[op].neighbor)
+                    outputs_[op].neighbor->controller().requestWakeup(now);
+                continue;
+            }
+            if (vc.outPort != Direction::kLocal &&
+                outputs_[op].credits[vc.outVc] <= 0) {
+                // Duato's escape guarantee requires a blocked head to be
+                // able to reach escape resources: a head that committed
+                // to an adaptive output VC but has not sent a flit yet
+                // releases it after a while and re-routes (possibly onto
+                // escape), breaking adaptive credit cycles.
+                if (!vc.sentAny && flitIsHead(vc.buffer.front()) &&
+                    ++vc.saBlocked >= config_.escapeAfterBlockedCycles) {
+                    outputs_[op].outVcBusy[vc.outVc] = false;
+                    vc.outVc = kInvalidVc;
+                    vc.state = VirtualChannel::State::kVcAlloc;
+                    vc.vaEarliest = now + 1;
+                    vc.blockedCycles = config_.escapeAfterBlockedCycles;
+                    vc.saBlocked = 0;
+                }
+                continue;
+            }
+            vc.saBlocked = 0;
+            nominee[p] = v;
+            break;
+        }
+    }
+
+    // Stage 2: each output port grants one nominee (round-robin).
+    for (int o = 0; o < kNumPorts; ++o) {
+        OutputPort &op = outputs_[o];
+        int winner = -1;
+        for (int k = 0; k < kNumPorts; ++k) {
+            const int p = (op.rrInput + k) % kNumPorts;
+            if (nominee[p] < 0)
+                continue;
+            const VirtualChannel &vc = inputs_[p].vcs[nominee[p]];
+            if (dirIndex(vc.outPort) == o) {
+                winner = p;
+                break;
+            }
+        }
+        if (winner < 0)
+            continue;
+        op.rrInput = (winner + 1) % kNumPorts;
+        InputPort &ip = inputs_[winner];
+        VirtualChannel &vc = ip.vcs[nominee[winner]];
+        ip.rrVc = (nominee[winner] + 1) % config_.numVcs;
+        sendFlit(ip, winner, vc, now);
+        nominee[winner] = -1;
+    }
+}
+
+void
+Router::sendFlit(InputPort &ip, int ipIdx, VirtualChannel &vc, Cycle now)
+{
+    Flit flit = vc.buffer.front();
+    tracePacket(flit.packet, now, "SA at %d seq %d -> %s outvc %d", id_,
+                flit.seq, dirName(vc.outPort), vc.outVc);
+    const VcId inVc = flit.vc;
+    vc.buffer.pop_front();
+    ++counters_.bufferReads;
+    ++counters_.swAllocs;
+    ++counters_.xbarTraversals;
+
+    flit.vc = vc.outVc;
+    flit.hops = static_cast<std::int16_t>(flit.hops + 1);
+
+    // Return the buffer credit upstream (1-cycle credit link).
+    if (ip.creditReturn) {
+        ip.creditReturn->push(inVc, now + 1);
+    } else if (indexDir(ipIdx) == Direction::kLocal) {
+        ni_->localCreditReturn(inVc);
+    }
+
+    const int o = dirIndex(vc.outPort);
+    OutputPort &op = outputs_[o];
+    if (vc.outPort == Direction::kLocal) {
+        // ST this cycle, LT next; ejection reaches the NI two cycles on.
+        ni_->acceptEjection(flit, now + 3);
+    } else {
+        --op.credits[flit.vc];
+        NORD_ASSERT(op.credits[flit.vc] >= 0, "negative credits at %d",
+                    id_);
+        op.link->push(flit, now + 3);
+        op.icUntil = std::max(op.icUntil, now + 3);
+        ++counters_.linkTraversals;
+    }
+
+    if (flitIsTail(flit)) {
+        op.outVcBusy[vc.outVc] = false;
+        vc.state = VirtualChannel::State::kIdle;
+        vc.outVc = kInvalidVc;
+        vc.sentAny = false;
+    } else {
+        vc.sentAny = true;
+    }
+    vc.saEarliest = now + 1;
+}
+
+void
+Router::routeNewHeads(Cycle now)
+{
+    for (int p = 0; p < kNumPorts; ++p) {
+        InputPort &ip = inputs_[p];
+        for (auto &vc : ip.vcs) {
+            if (vc.state != VirtualChannel::State::kIdle ||
+                vc.buffer.empty()) {
+                continue;
+            }
+            NORD_ASSERT(flitIsHead(vc.buffer.front()),
+                        "non-head flit at idle VC of router %d", id_);
+            vc.state = VirtualChannel::State::kVcAlloc;
+            vc.vaEarliest = now + 1;
+            vc.blockedCycles = 0;
+
+            if (config_.design == PgDesign::kConvPgOpt) {
+                // Early wakeup: fire WU as soon as the output port is
+                // computed (RC), ahead of the SA stall (Section 3.3).
+                const Flit &head = vc.buffer.front();
+                RouteRequest req =
+                    policy_->route(id_, head, indexDir(p), *this);
+                bool anyUsable = false;
+                for (const RouteCandidate &cand : req.adaptive)
+                    anyUsable |= outputUsable(cand.dir);
+                if (!anyUsable) {
+                    Direction target = req.adaptive.empty()
+                        ? req.escapeDir : req.adaptive.front().dir;
+                    Router *nb = outputs_[dirIndex(target)].neighbor;
+                    if (nb && nb->pgAsserted())
+                        nb->controller().requestWakeup(now);
+                }
+            }
+        }
+    }
+}
+
+void
+Router::dumpState(std::FILE *out) const
+{
+    std::fprintf(out, "router %d state=%s empty=%d\n", id_,
+                 powerStateName(powerState()), datapathEmpty() ? 1 : 0);
+    for (int p = 0; p < kNumPorts; ++p) {
+        for (int v = 0; v < config_.numVcs; ++v) {
+            const VirtualChannel &vc = inputs_[p].vcs[v];
+            if (vc.state == VirtualChannel::State::kIdle &&
+                vc.buffer.empty()) {
+                continue;
+            }
+            std::fprintf(out,
+                "  in %s vc%d state=%d buf=%zu out=%s outvc=%d sent=%d",
+                dirName(indexDir(p)), v, static_cast<int>(vc.state),
+                vc.buffer.size(), dirName(vc.outPort), vc.outVc,
+                vc.sentAny ? 1 : 0);
+            if (!vc.buffer.empty()) {
+                const Flit &f = vc.buffer.front();
+                std::fprintf(out,
+                    " | front pkt=%llu t=%d seq=%d dst=%d esc=%d mis=%d",
+                    static_cast<unsigned long long>(f.packet),
+                    static_cast<int>(f.type), f.seq, f.dst,
+                    f.onEscape ? 1 : 0, f.misroutes);
+            }
+            std::fprintf(out, "\n");
+        }
+    }
+    for (int o = 0; o < kNumPorts; ++o) {
+        const OutputPort &op = outputs_[o];
+        std::fprintf(out, "  out %s gated=%d credits", dirName(indexDir(o)),
+                     op.gatedView ? 1 : 0);
+        for (int v = 0; v < config_.numVcs; ++v)
+            std::fprintf(out, " %d%s", op.credits[v],
+                         op.outVcBusy[v] ? "B" : "");
+        std::fprintf(out, "\n");
+    }
+}
+
+void
+Router::checkQuiescent() const
+{
+    for (int p = 0; p < kNumPorts; ++p) {
+        for (int v = 0; v < config_.numVcs; ++v) {
+            const VirtualChannel &vc = inputs_[p].vcs[v];
+            NORD_ASSERT(vc.buffer.empty() &&
+                            vc.state == VirtualChannel::State::kIdle,
+                        "router %d port %s vc %d not idle after drain",
+                        id_, dirName(indexDir(p)), v);
+        }
+    }
+    for (int o = 0; o < kNumMeshDirs; ++o) {
+        const OutputPort &op = outputs_[o];
+        if (!op.neighbor)
+            continue;
+        for (int v = 0; v < config_.numVcs; ++v) {
+            NORD_ASSERT(!op.outVcBusy[v],
+                        "router %d leaked output VC %s/%d", id_,
+                        dirName(indexDir(o)), v);
+            // A gated downstream shrinks the ring predecessor's credit
+            // view to the single latch slot; otherwise all buffer
+            // credits must be home.
+            const int expect = op.gatedView &&
+                config_.design == PgDesign::kNord &&
+                indexDir(o) == ring_.bypassOutport(id_)
+                ? 1 : config_.bufferDepth;
+            if (!op.gatedView || expect == 1) {
+                NORD_ASSERT(op.credits[v] == expect,
+                            "router %d credits %s/%d = %d (expect %d)",
+                            id_, dirName(indexDir(o)), v, op.credits[v],
+                            expect);
+            }
+        }
+    }
+}
+
+void
+Router::tick(Cycle now)
+{
+    observeNeighborPower(now);
+    if (powerState() == PowerState::kOn) {
+        switchAllocation(now);
+        vcAllocation(now);
+        routeNewHeads(now);
+    } else {
+        NORD_ASSERT(datapathEmpty(),
+                    "router %d has buffered flits while %s", id_,
+                    powerStateName(powerState()));
+    }
+    stats_.routerIdleSample(id_, datapathEmpty(), now);
+}
+
+}  // namespace nord

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Canonical 4-stage wormhole virtual-channel router (Section 3.1).
+ *
+ * Pipeline: RC (routing computation), VA (VC allocation), SA (switch
+ * allocation), ST (switch traversal), followed by LT (link traversal and
+ * buffer write at the downstream router). Head flits traverse all stages;
+ * body/tail flits inherit the VC's route and use SA/ST only. Per-hop
+ * latency at zero load is therefore 5 cycles; the NoRD bypass pipeline is
+ * 3 (Section 6.8).
+ *
+ * Flow control is credit-based wormhole with private per-VC buffers.
+ * The VC set is split into an escape class and an adaptive class
+ * (Duato's Protocol).
+ *
+ * Power-gating integration: a small always-on controller (PgController)
+ * monitors emptiness and the PG/WU/IC handshake. When a neighbor is gated
+ * the corresponding output is tagged unavailable in SA (conventional
+ * designs) or reachable only via the Bypass Ring edge (NoRD), and credits
+ * are adjusted per Section 4.3.
+ */
+
+#ifndef NORD_ROUTER_ROUTER_HH
+#define NORD_ROUTER_ROUTER_HH
+
+#include <array>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/flit.hh"
+#include "common/types.hh"
+#include "network/link.hh"
+#include "network/noc_config.hh"
+#include "powergate/pg_controller.hh"
+#include "routing/routing_policy.hh"
+#include "sim/clocked.hh"
+#include "stats/network_stats.hh"
+#include "topology/bypass_ring.hh"
+#include "topology/mesh.hh"
+
+namespace nord {
+
+class NetworkInterface;
+
+/**
+ * One mesh router with its input-buffered VC pipeline.
+ */
+class Router : public Clocked
+{
+  public:
+    Router(NodeId id, const NocConfig &config, const MeshTopology &mesh,
+           const BypassRing &ring, NetworkStats &stats);
+
+    Router(const Router &) = delete;
+    Router &operator=(const Router &) = delete;
+
+    // --- Wiring (done once by NocSystem) ---------------------------------
+    /** Connect mesh output @p d to @p neighbor through @p link. */
+    void connectOutput(Direction d, Router *neighbor, FlitLink *link);
+
+    /** Connect the credit-return path for flits received on @p inPort. */
+    void connectCreditReturn(Direction inPort, CreditLink *link);
+
+    /** Input flit link feeding @p inPort (for in-flight checks). */
+    void connectInput(Direction inPort, FlitLink *link);
+
+    /** Attach the node's network interface. */
+    void setNi(NetworkInterface *ni) { ni_ = ni; }
+
+    /** Attach the power-gating controller (owned by the caller). */
+    void setController(PgController *controller);
+
+    /** Attach the routing policy (shared across routers). */
+    void setRoutingPolicy(const RoutingPolicy *policy) { policy_ = policy; }
+
+    // --- Identity ----------------------------------------------------------
+    NodeId id() const { return id_; }
+    std::string name() const override;
+
+    // --- Simulation ---------------------------------------------------------
+    void tick(Cycle now) override;
+
+    // --- Link-facing interface ----------------------------------------------
+    /**
+     * A flit finished LT into @p inPort. When the router is bypassing
+     * (NoRD, gated off) and @p inPort is the Bypass Inport, the flit is
+     * redirected into the NI bypass latch.
+     */
+    void acceptFlit(Direction inPort, const Flit &flit, Cycle now);
+
+    /** A credit returned for VC @p vc of output port @p outPort. */
+    void acceptCredit(Direction outPort, VcId vc, Cycle now);
+
+    // --- NI-facing interface -------------------------------------------------
+    /**
+     * Enqueue a flit from the NI into the local input port (router must
+     * be powered on; the NI performs VC allocation and credit checks).
+     */
+    void enqueueLocal(const Flit &flit, Cycle now);
+
+    /** True if local input VC @p vc has no packet assigned (NI-side VA). */
+    bool localVcIdle(VcId vc) const;
+
+    // --- Power-gating handshake ----------------------------------------------
+    PowerState powerState() const { return controller_->state(); }
+    bool pgAsserted() const { return controller_->pgAsserted(); }
+    PgController &controller() { return *controller_; }
+
+    /** True when every input VC is empty and idle. */
+    bool datapathEmpty() const;
+
+    /**
+     * IC signal: true when some neighbor (or a bypassing neighbor NI) has
+     * a flit in flight towards this router.
+     */
+    bool icIncoming(Cycle now) const;
+
+    /**
+     * Cycle until which this router's output @p d carries in-flight flits
+     * (the outgoing IC signal seen by the downstream router).
+     */
+    Cycle icUntil(Direction d) const
+    {
+        return outputs_[dirIndex(d)].icUntil;
+    }
+
+    /**
+     * True when every credit of output @p d is home (no flit in flight,
+     * buffered downstream, or committed by the NI bypass). Used by the
+     * downstream router's sleep check.
+     */
+    bool allCreditsHome(Direction d) const;
+
+    /** This router's cached view of the downstream PG signal on @p d. */
+    bool outputGatedView(Direction d) const
+    {
+        return outputs_[dirIndex(d)].gatedView;
+    }
+
+    /** Controller callbacks. */
+    void onSleep(Cycle now);
+    void onWake(Cycle now);
+
+    // --- NoRD bypass re-injection (driven by the NI, Section 4.2) -----------
+    /**
+     * Try to allocate an output VC of class @p cls (escape level
+     * @p escLevel) on the Bypass Outport. Returns kInvalidVc on failure.
+     */
+    VcId bypassAllocOutVc(VcClass cls, int escLevel);
+
+    /** Credits available for @p outVc on the Bypass Outport? */
+    bool bypassCreditAvailable(VcId outVc) const;
+
+    /**
+     * Reserve one credit of @p outVc on the Bypass Outport (stage 2 of
+     * the bypass pipeline checks credits before committing the flit, so
+     * stage 3 can never head-of-line block the escape sub-network).
+     */
+    void bypassReserveCredit(VcId outVc);
+
+    /**
+     * Return a buffer credit for bypass-latch slot @p slot to the ring
+     * predecessor (the upstream of the Bypass Inport).
+     */
+    void bypassCreditReturn(VcId slot, Cycle now);
+
+    /**
+     * Re-inject @p flit on the Bypass Outport using @p outVc (stage 3 of
+     * the bypass pipeline). Consumes one credit; frees the output VC on
+     * tail flits.
+     */
+    void bypassSendFlit(Flit flit, VcId outVc, Cycle now);
+
+    /** Access shared structures. */
+    const NocConfig &config() const { return config_; }
+    const MeshTopology &mesh() const { return mesh_; }
+    const BypassRing &ring() const { return ring_; }
+    const RoutingPolicy &policy() const { return *policy_; }
+    NetworkInterface &ni() { return *ni_; }
+
+    /** Total buffered flits (diagnostics). */
+    int bufferedFlits() const;
+
+    /** Dump all non-idle pipeline state to @p out (diagnostics). */
+    void dumpState(std::FILE *out) const;
+
+    /**
+     * Verify resource-conservation invariants for a drained network:
+     * every credit home (modulo gated-neighbor views), no output VC
+     * held, every input VC idle. Panics with a description on
+     * violation; call only when the network is drained.
+     */
+    void checkQuiescent() const;
+
+  private:
+    /** Per-VC state machine. */
+    struct VirtualChannel
+    {
+        std::deque<Flit> buffer;
+        enum class State : std::int8_t
+        {
+            kIdle,     ///< no packet
+            kRouting,  ///< head buffered, RC this cycle
+            kVcAlloc,  ///< requesting an output VC
+            kActive,   ///< output VC held, flits stream through SA
+        };
+        State state = State::kIdle;
+        Direction outPort = Direction::kLocal;
+        VcId outVc = kInvalidVc;
+        Cycle vaEarliest = 0;    ///< earliest cycle VA may be attempted
+        Cycle saEarliest = 0;    ///< earliest cycle SA may be attempted
+        int blockedCycles = 0;   ///< consecutive failed VA attempts
+        int saBlocked = 0;       ///< consecutive credit-blocked SA tries
+        bool sentAny = false;    ///< a flit of this packet already left
+    };
+
+    struct InputPort
+    {
+        std::vector<VirtualChannel> vcs;
+        CreditLink *creditReturn = nullptr;  ///< null for the local port
+        FlitLink *inLink = nullptr;
+        int rrVc = 0;                        ///< SA round-robin pointer
+    };
+
+    struct OutputPort
+    {
+        Router *neighbor = nullptr;   ///< null for local / mesh edge
+        FlitLink *link = nullptr;     ///< null for the local port
+        std::vector<int> credits;
+        std::vector<bool> outVcBusy;
+        bool gatedView = false;       ///< cached downstream PG signal
+        Cycle icUntil = 0;            ///< outgoing IC coverage
+        int rrInput = 0;              ///< SA round-robin pointer
+    };
+
+    // Pipeline phases (called in reverse order each tick).
+    void observeNeighborPower(Cycle now);
+    void switchAllocation(Cycle now);
+    void vcAllocation(Cycle now);
+    void routeNewHeads(Cycle now);
+
+    /** Send @p flit out of @p outPort / @p outVc (ST + LT). */
+    void sendFlit(InputPort &ip, int ipIdx, VirtualChannel &vc, Cycle now);
+
+    /** Restart heads whose chosen output just became unavailable. */
+    void restartHeadsOn(Direction d);
+
+    /**
+     * Try to grant an output VC on (@p outPort, class/level) for the head
+     * of @p vc. Returns true on success.
+     */
+    bool tryAllocOutVc(VirtualChannel &vc, Direction outPort, VcClass cls,
+                       int escLevel);
+
+    /** True when output @p d may be requested in SA by this design. */
+    bool outputUsable(Direction d) const;
+
+    /**
+     * True when VA may allocate new output VCs on @p d. The Bypass
+     * Outport is held back while the NI is still draining bypass flows
+     * after a wakeup (prevents pipeline/bypass crossbar conflicts).
+     */
+    bool outputAllocatable(Direction d) const;
+
+    NodeId id_;
+    const NocConfig &config_;
+    const MeshTopology &mesh_;
+    const BypassRing &ring_;
+    NetworkStats &stats_;
+    ActivityCounters &counters_;
+    NetworkInterface *ni_ = nullptr;
+    PgController *controller_ = nullptr;
+    const RoutingPolicy *policy_ = nullptr;
+
+    std::array<InputPort, kNumPorts> inputs_;
+    std::array<OutputPort, kNumPorts> outputs_;
+};
+
+}  // namespace nord
+
+#endif  // NORD_ROUTER_ROUTER_HH

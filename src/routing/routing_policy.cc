@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Routing policy implementation.
+ */
+
+#include "routing/routing_policy.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "router/router.hh"
+
+namespace nord {
+
+RoutingPolicy::RoutingPolicy(const NocConfig &config,
+                             const MeshTopology &mesh,
+                             const BypassRing &ring)
+    : config_(config), mesh_(mesh), ring_(ring)
+{
+}
+
+void
+RoutingPolicy::setSteeringTable(std::vector<double> table)
+{
+    NORD_ASSERT(static_cast<int>(table.size()) ==
+                    mesh_.numNodes() * mesh_.numNodes(),
+                "steering table has wrong size");
+    steer_ = std::move(table);
+}
+
+RouteRequest
+RoutingPolicy::route(NodeId here, const Flit &head, Direction inPort,
+                     const Router &router) const
+{
+    RouteRequest req;
+
+    if (head.dst == here) {
+        req.adaptive.push_back({Direction::kLocal, false});
+        req.escapeDir = Direction::kLocal;
+        req.mustEscape = head.onEscape;
+        return req;
+    }
+
+    if (isNord()) {
+        const Direction ringOut = ring_.bypassOutport(here);
+        req.escapeDir = ringOut;
+        req.escapeNonMinimal =
+            mesh_.manhattan(ring_.successor(here), head.dst) >=
+            mesh_.manhattan(here, head.dst);
+
+        if (head.onEscape) {
+            req.mustEscape = true;
+            return req;
+        }
+
+        // Adaptive candidates over the mixed on/off graph: an output is
+        // usable if the downstream router is not gated, or if it is this
+        // router's ring successor (entry via its Bypass Inport). With a
+        // steering table, candidates are ranked by the worst-case-graph
+        // cost through the downstream node, which routes packets via the
+        // performance-centric shortcuts of Figure 6; otherwise minimal
+        // directions are used with a ring fallback.
+        struct Scored
+        {
+            RouteCandidate cand;
+            double score;
+        };
+        std::vector<Scored> scored;
+        const int hereDist = mesh_.manhattan(here, head.dst);
+        for (int di = 0; di < kNumMeshDirs; ++di) {
+            const Direction d = indexDir(di);
+            if (d == inPort)
+                continue;  // no U-turns (back out the arrival side)
+            const NodeId nb = mesh_.neighbor(here, d);
+            if (nb == kInvalidNode)
+                continue;
+            const bool gated = router.outputGatedView(d);
+            if (gated && d != ringOut)
+                continue;
+            const bool nonMinimal =
+                mesh_.manhattan(nb, head.dst) >= hereDist;
+            double score;
+            if (hasSteering()) {
+                // Onward estimate: through a gated neighbor the packet is
+                // committed to the worst-case (steering) graph; through a
+                // powered-on neighbor it may also find an all-on minimal
+                // path, so take the optimistic minimum.
+                const double steer = steerCost(nb, head.dst);
+                const double allOn = 5.0 * mesh_.manhattan(nb, head.dst);
+                score = gated ? (3.0 + steer)
+                              : (5.0 + std::min(steer, allOn));
+            } else {
+                score = nonMinimal ? 1e6 : (gated ? 3.0 : 5.0);
+                score += mesh_.manhattan(nb, head.dst);
+            }
+            scored.push_back({{d, nonMinimal}, score});
+        }
+        std::stable_sort(scored.begin(), scored.end(),
+            [](const Scored &a, const Scored &b) {
+                return a.score < b.score;
+            });
+        const bool capped = head.misroutes >= config_.nordMisrouteCap;
+        for (const Scored &sc : scored) {
+            // Once the misroute cap is reached only minimal progress may
+            // stay on adaptive resources (Section 4.2).
+            if (capped && sc.cand.nonMinimal)
+                continue;
+            // Without steering, a non-minimal hop is only the ring
+            // fallback of last resort.
+            if (!hasSteering() && sc.cand.nonMinimal &&
+                sc.cand.dir != ringOut) {
+                continue;
+            }
+            req.adaptive.push_back(sc.cand);
+        }
+        if (req.adaptive.empty())
+            req.mustEscape = true;
+        return req;
+    }
+
+    // Conventional designs: minimal adaptive + XY escape. Power state does
+    // not restrict candidates (a gated downstream router is simply woken),
+    // but powered-on neighbors are preferred to avoid needless wakeups.
+    for (Direction d : mesh_.minimalDirections(here, head.dst)) {
+        if (d == inPort)
+            continue;  // no U-turns
+        req.adaptive.push_back({d, false});
+    }
+    std::stable_sort(req.adaptive.begin(), req.adaptive.end(),
+        [&](const RouteCandidate &a, const RouteCandidate &b) {
+            return !router.outputGatedView(a.dir) &&
+                   router.outputGatedView(b.dir);
+        });
+    req.escapeDir = mesh_.xyDirection(here, head.dst);
+    req.mustEscape = head.onEscape || req.adaptive.empty();
+    return req;
+}
+
+RouteRequest
+RoutingPolicy::routeAtBypass(NodeId here, const Flit &head) const
+{
+    NORD_ASSERT(isNord(), "bypass routing only exists under NoRD");
+    RouteRequest req;
+    if (head.dst == here) {
+        req.adaptive.push_back({Direction::kLocal, false});
+        req.escapeDir = Direction::kLocal;
+        return req;
+    }
+    const Direction ringOut = ring_.bypassOutport(here);
+    const bool nonMinimal =
+        mesh_.manhattan(ring_.successor(here), head.dst) >=
+        mesh_.manhattan(here, head.dst);
+    req.escapeDir = ringOut;
+    req.escapeNonMinimal = nonMinimal;
+    if (head.onEscape ||
+        (nonMinimal && head.misroutes >= config_.nordMisrouteCap)) {
+        req.mustEscape = true;
+    } else {
+        req.adaptive.push_back({ringOut, nonMinimal});
+    }
+    return req;
+}
+
+int
+RoutingPolicy::escapeVcLevel(NodeId here, Direction dir,
+                             const Flit &head) const
+{
+    if (!isNord())
+        return 0;
+    int level = head.escLevel;
+    if (crossesDateline(here, dir))
+        level = 1;
+    return level;
+}
+
+bool
+RoutingPolicy::crossesDateline(NodeId here, Direction dir) const
+{
+    return isNord() && dir == ring_.bypassOutport(here) &&
+           ring_.crossesDateline(here);
+}
+
+}  // namespace nord

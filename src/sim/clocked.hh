@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Interface for objects driven by the cycle-based simulation kernel.
+ */
+
+#ifndef NORD_SIM_CLOCKED_HH
+#define NORD_SIM_CLOCKED_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace nord {
+
+/**
+ * A component evaluated once per cycle.
+ *
+ * The kernel calls tick() on all registered objects in registration order;
+ * the network assembles components in dataflow order (links, routers, NIs,
+ * power-gating controllers, statistics) so that one pass per cycle gives
+ * correct pipelined behavior.
+ */
+class Clocked
+{
+  public:
+    virtual ~Clocked() = default;
+
+    /** Evaluate this component for cycle @p now. */
+    virtual void tick(Cycle now) = 0;
+
+    /** Component name for diagnostics. */
+    virtual std::string name() const = 0;
+};
+
+}  // namespace nord
+
+#endif  // NORD_SIM_CLOCKED_HH

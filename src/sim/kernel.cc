@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Simulation kernel implementation.
+ */
+
+#include "sim/kernel.hh"
+
+#include "common/log.hh"
+
+namespace nord {
+
+void
+SimKernel::add(Clocked *obj)
+{
+    NORD_ASSERT(obj != nullptr, "null component");
+    objects_.push_back(obj);
+}
+
+void
+SimKernel::stepOne()
+{
+    for (Clocked *obj : objects_)
+        obj->tick(now_);
+    ++now_;
+}
+
+void
+SimKernel::run(Cycle cycles)
+{
+    for (Cycle i = 0; i < cycles; ++i)
+        stepOne();
+}
+
+bool
+SimKernel::runUntil(const std::function<bool()> &done, Cycle maxCycles)
+{
+    for (Cycle i = 0; i < maxCycles; ++i) {
+        stepOne();
+        if (done())
+            return true;
+    }
+    return done();
+}
+
+}  // namespace nord

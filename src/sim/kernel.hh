@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Cycle-driven simulation kernel.
+ */
+
+#ifndef NORD_SIM_KERNEL_HH
+#define NORD_SIM_KERNEL_HH
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/clocked.hh"
+
+namespace nord {
+
+/**
+ * Drives all registered Clocked objects, one pass per cycle, in
+ * registration order. Does not own the objects.
+ */
+class SimKernel
+{
+  public:
+    SimKernel() = default;
+
+    SimKernel(const SimKernel &) = delete;
+    SimKernel &operator=(const SimKernel &) = delete;
+
+    /** Register a component; evaluation follows registration order. */
+    void add(Clocked *obj);
+
+    /** Current cycle (the cycle being, or about to be, evaluated). */
+    Cycle now() const { return now_; }
+
+    /** Advance the simulation by @p cycles cycles. */
+    void run(Cycle cycles);
+
+    /**
+     * Advance until @p done returns true (checked after each cycle) or
+     * @p maxCycles have elapsed.
+     *
+     * @return true if @p done fired, false if the cycle limit was hit.
+     */
+    bool runUntil(const std::function<bool()> &done, Cycle maxCycles);
+
+    /** Number of registered components. */
+    size_t numComponents() const { return objects_.size(); }
+
+  private:
+    void stepOne();
+
+    std::vector<Clocked *> objects_;
+    Cycle now_ = 0;
+};
+
+}  // namespace nord
+
+#endif  // NORD_SIM_KERNEL_HH

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Statistics implementation.
+ */
+
+#include "stats/network_stats.hh"
+
+#include "common/log.hh"
+
+namespace nord {
+
+IdlePeriodHistogram::IdlePeriodHistogram(int maxBucket)
+    : buckets_(static_cast<size_t>(maxBucket) + 2, 0)
+{
+}
+
+void
+IdlePeriodHistogram::record(Cycle length)
+{
+    size_t idx = static_cast<size_t>(length);
+    if (idx >= buckets_.size())
+        idx = buckets_.size() - 1;
+    ++buckets_[idx];
+    ++count_;
+    totalCycles_ += length;
+}
+
+std::uint64_t
+IdlePeriodHistogram::countAtOrBelow(Cycle limit) const
+{
+    std::uint64_t total = 0;
+    size_t top = static_cast<size_t>(limit);
+    if (top >= buckets_.size() - 1)
+        top = buckets_.size() - 2;
+    for (size_t i = 0; i <= top; ++i)
+        total += buckets_[i];
+    return total;
+}
+
+double
+IdlePeriodHistogram::fractionAtOrBelow(Cycle limit) const
+{
+    if (count_ == 0)
+        return 0.0;
+    return static_cast<double>(countAtOrBelow(limit)) /
+           static_cast<double>(count_);
+}
+
+double
+IdlePeriodHistogram::mean() const
+{
+    if (count_ == 0)
+        return 0.0;
+    return static_cast<double>(totalCycles_) / static_cast<double>(count_);
+}
+
+NetworkStats::NetworkStats(int numRouters, Cycle warmup)
+    : routers_(numRouters),
+      idleHists_(numRouters),
+      idleStart_(numRouters, kNeverCycle),
+      warmup_(warmup)
+{
+}
+
+void
+NetworkStats::packetCreated(const PacketDescriptor &)
+{
+    ++packetsCreated_;
+}
+
+void
+NetworkStats::packetDelivered(const Flit &tail, Cycle now)
+{
+    ++packetsDelivered_;
+    flitsDelivered_ += tail.length;
+    if (tail.createdAt >= warmup_) {
+        NORD_ASSERT(now >= tail.createdAt,
+                    "packet delivered before creation");
+        latencySum_ += now - tail.createdAt;
+        hopSum_ += static_cast<std::uint64_t>(tail.hops);
+        ++measuredPackets_;
+    }
+}
+
+void
+NetworkStats::flitInjected(Cycle)
+{
+    ++flitsInjected_;
+}
+
+void
+NetworkStats::routerIdleSample(NodeId id, bool empty, Cycle now)
+{
+    ActivityCounters &c = routers_[id];
+    if (empty) {
+        ++c.emptyCycles;
+        if (idleStart_[id] == kNeverCycle)
+            idleStart_[id] = now;
+    } else {
+        ++c.busyCycles;
+        if (idleStart_[id] != kNeverCycle) {
+            idleHists_[id].record(now - idleStart_[id]);
+            idleStart_[id] = kNeverCycle;
+        }
+    }
+}
+
+void
+NetworkStats::finalize(Cycle now)
+{
+    for (NodeId id = 0; id < numRouters(); ++id) {
+        if (idleStart_[id] != kNeverCycle) {
+            idleHists_[id].record(now - idleStart_[id]);
+            idleStart_[id] = kNeverCycle;
+        }
+    }
+}
+
+double
+NetworkStats::avgPacketLatency() const
+{
+    if (measuredPackets_ == 0)
+        return 0.0;
+    return static_cast<double>(latencySum_) /
+           static_cast<double>(measuredPackets_);
+}
+
+double
+NetworkStats::avgHops() const
+{
+    if (measuredPackets_ == 0)
+        return 0.0;
+    return static_cast<double>(hopSum_) /
+           static_cast<double>(measuredPackets_);
+}
+
+ActivityCounters
+NetworkStats::totals() const
+{
+    ActivityCounters t;
+    for (const ActivityCounters &c : routers_) {
+        t.bufferWrites += c.bufferWrites;
+        t.bufferReads += c.bufferReads;
+        t.vcAllocs += c.vcAllocs;
+        t.swAllocs += c.swAllocs;
+        t.xbarTraversals += c.xbarTraversals;
+        t.linkTraversals += c.linkTraversals;
+        t.bypassLatchWrites += c.bypassLatchWrites;
+        t.bypassForwards += c.bypassForwards;
+        t.onCycles += c.onCycles;
+        t.offCycles += c.offCycles;
+        t.wakingCycles += c.wakingCycles;
+        t.wakeups += c.wakeups;
+        t.sleeps += c.sleeps;
+        t.emptyCycles += c.emptyCycles;
+        t.busyCycles += c.busyCycles;
+    }
+    return t;
+}
+
+double
+NetworkStats::avgIdleFraction() const
+{
+    ActivityCounters t = totals();
+    std::uint64_t denom = t.emptyCycles + t.busyCycles;
+    if (denom == 0)
+        return 0.0;
+    return static_cast<double>(t.emptyCycles) / static_cast<double>(denom);
+}
+
+std::uint64_t
+NetworkStats::totalWakeups() const
+{
+    return totals().wakeups;
+}
+
+IdlePeriodHistogram
+NetworkStats::combinedIdleHistogram() const
+{
+    IdlePeriodHistogram combined;
+    for (const IdlePeriodHistogram &h : idleHists_) {
+        const auto &b = h.buckets();
+        for (size_t len = 0; len < b.size(); ++len) {
+            for (std::uint64_t i = 0; i < b[len]; ++i)
+                combined.record(len);
+        }
+    }
+    return combined;
+}
+
+}  // namespace nord

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Simulation statistics: packet latency, router activity counters,
+ * power-state residency, and idle-period histograms.
+ *
+ * The counters double as the input to the power model: every dynamic
+ * energy event (buffer write/read, VA, SA, crossbar, link, NI bypass) is
+ * counted here and converted to Joules after the run.
+ */
+
+#ifndef NORD_STATS_NETWORK_STATS_HH
+#define NORD_STATS_NETWORK_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/flit.hh"
+#include "common/types.hh"
+
+namespace nord {
+
+/**
+ * Dynamic-event and power-state counters for one router (including its NI
+ * and outgoing links).
+ */
+struct ActivityCounters
+{
+    // Dynamic events.
+    std::uint64_t bufferWrites = 0;
+    std::uint64_t bufferReads = 0;
+    std::uint64_t vcAllocs = 0;       ///< VA grants
+    std::uint64_t swAllocs = 0;       ///< SA grants
+    std::uint64_t xbarTraversals = 0;
+    std::uint64_t linkTraversals = 0;
+    std::uint64_t bypassLatchWrites = 0;  ///< NoRD: flits written to NI latch
+    std::uint64_t bypassForwards = 0;     ///< NoRD: flits re-injected by NI
+
+    // Power-state residency (cycles).
+    std::uint64_t onCycles = 0;
+    std::uint64_t offCycles = 0;
+    std::uint64_t wakingCycles = 0;
+
+    // Power-gating state transitions.
+    std::uint64_t wakeups = 0;
+    std::uint64_t sleeps = 0;
+
+    // Datapath occupancy (independent of gating; drives the Section 3
+    // idleness study).
+    std::uint64_t emptyCycles = 0;
+    std::uint64_t busyCycles = 0;
+};
+
+/**
+ * Histogram of router idle-period lengths.
+ *
+ * Buckets are 1-cycle wide up to @p maxBucket; longer periods land in the
+ * overflow bucket but their exact lengths still contribute to the sums.
+ */
+class IdlePeriodHistogram
+{
+  public:
+    explicit IdlePeriodHistogram(int maxBucket = 64);
+
+    /** Record one idle period of @p length cycles. */
+    void record(Cycle length);
+
+    /** Number of idle periods recorded. */
+    std::uint64_t count() const { return count_; }
+
+    /** Total idle cycles across all periods. */
+    std::uint64_t totalCycles() const { return totalCycles_; }
+
+    /** Periods with length <= @p limit. */
+    std::uint64_t countAtOrBelow(Cycle limit) const;
+
+    /** Fraction of periods with length <= @p limit (0 when empty). */
+    double fractionAtOrBelow(Cycle limit) const;
+
+    /** Mean period length (0 when empty). */
+    double mean() const;
+
+    /** Raw bucket counts; index i holds periods of length i. */
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+
+  private:
+    std::vector<std::uint64_t> buckets_;  ///< [0, maxBucket]; last=overflow
+    std::uint64_t count_ = 0;
+    std::uint64_t totalCycles_ = 0;
+};
+
+/**
+ * Whole-network statistics collected during one simulation.
+ */
+class NetworkStats
+{
+  public:
+    NetworkStats(int numRouters, Cycle warmup);
+
+    // --- Packet bookkeeping ---------------------------------------------
+    /** A packet's flits entered the NI injection queue. */
+    void packetCreated(const PacketDescriptor &desc);
+
+    /** The tail flit of a packet was ejected at its destination NI. */
+    void packetDelivered(const Flit &tail, Cycle now);
+
+    /** A flit entered the network fabric (left the NI). */
+    void flitInjected(Cycle now);
+
+    // --- Router activity ---------------------------------------------------
+    ActivityCounters &router(NodeId id) { return routers_[id]; }
+    const ActivityCounters &router(NodeId id) const { return routers_[id]; }
+
+    /** One cycle of router datapath emptiness / busyness. */
+    void routerIdleSample(NodeId id, bool empty, Cycle now);
+
+    /** Flush open idle periods into the histograms at end of simulation. */
+    void finalize(Cycle now);
+
+    // --- Results ------------------------------------------------------------
+    std::uint64_t packetsCreated() const { return packetsCreated_; }
+    std::uint64_t packetsDelivered() const { return packetsDelivered_; }
+    std::uint64_t flitsInjected() const { return flitsInjected_; }
+    std::uint64_t flitsDelivered() const { return flitsDelivered_; }
+
+    /** Mean packet latency in cycles (creation to tail ejection). */
+    double avgPacketLatency() const;
+
+    /** Mean hop count of delivered packets. */
+    double avgHops() const;
+
+    /** Aggregate counters over all routers. */
+    ActivityCounters totals() const;
+
+    /** Mean fraction of cycles the router datapaths were empty. */
+    double avgIdleFraction() const;
+
+    /** Total router wakeups across the network. */
+    std::uint64_t totalWakeups() const;
+
+    /** Per-router idle-period histogram. */
+    const IdlePeriodHistogram &idleHistogram(NodeId id) const
+    {
+        return idleHists_[id];
+    }
+
+    /** Combined idle-period histogram over all routers. */
+    IdlePeriodHistogram combinedIdleHistogram() const;
+
+    int numRouters() const { return static_cast<int>(routers_.size()); }
+
+  private:
+    std::vector<ActivityCounters> routers_;
+    std::vector<IdlePeriodHistogram> idleHists_;
+    std::vector<Cycle> idleStart_;   ///< kNeverCycle when busy
+
+    Cycle warmup_;
+    std::uint64_t packetsCreated_ = 0;
+    std::uint64_t packetsDelivered_ = 0;
+    std::uint64_t flitsInjected_ = 0;
+    std::uint64_t flitsDelivered_ = 0;
+    std::uint64_t latencySum_ = 0;
+    std::uint64_t hopSum_ = 0;
+    std::uint64_t measuredPackets_ = 0;
+};
+
+}  // namespace nord
+
+#endif  // NORD_STATS_NETWORK_STATS_HH

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Floyd-Warshall router-criticality analysis.
+ */
+
+#include "topology/criticality.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.hh"
+
+namespace nord {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+CriticalityAnalyzer::CriticalityAnalyzer(const MeshTopology &mesh,
+                                         const BypassRing &ring,
+                                         int onRouterHopCycles,
+                                         int offRouterHopCycles)
+    : mesh_(mesh), ring_(ring),
+      onHopCycles_(onRouterHopCycles),
+      offHopCycles_(offRouterHopCycles)
+{
+}
+
+void
+CriticalityAnalyzer::shortestPaths(const std::vector<bool> &poweredOn,
+                                   std::vector<double> &distHops,
+                                   std::vector<double> &distCycles) const
+{
+    const int n = mesh_.numNodes();
+    NORD_ASSERT(static_cast<int>(poweredOn.size()) == n,
+                "poweredOn size %zu != %d", poweredOn.size(), n);
+    distHops.assign(static_cast<size_t>(n) * n, kInf);
+    distCycles.assign(static_cast<size_t>(n) * n, kInf);
+    for (int i = 0; i < n; ++i) {
+        distHops[static_cast<size_t>(i) * n + i] = 0.0;
+        distCycles[static_cast<size_t>(i) * n + i] = 0.0;
+    }
+
+    // Edge x -> y exists when x can hand a flit to y. Cost is charged for
+    // traversing y (the hop's pipeline) -- consistent for whole paths since
+    // the source NI injects directly into x's pipeline.
+    auto addEdge = [&](NodeId x, NodeId y) {
+        double hopCost = poweredOn[y] ? onHopCycles_ : offHopCycles_;
+        distHops[static_cast<size_t>(x) * n + y] = 1.0;
+        distCycles[static_cast<size_t>(x) * n + y] = hopCost;
+    };
+
+    for (NodeId x = 0; x < n; ++x) {
+        if (!poweredOn[x]) {
+            // Gated-off: only the ring edge out of the NI bypass.
+            addEdge(x, ring_.successor(x));
+            continue;
+        }
+        for (int d = 0; d < kNumMeshDirs; ++d) {
+            NodeId y = mesh_.neighbor(x, indexDir(d));
+            if (y == kInvalidNode)
+                continue;
+            if (poweredOn[y] || ring_.predecessor(y) == x) {
+                // Into an on router: always allowed. Into an off router:
+                // only via its Bypass Inport (we must be its ring
+                // predecessor).
+                addEdge(x, y);
+            }
+        }
+    }
+
+    // Floyd-Warshall on cycles; hops follow the same relaxations.
+    for (int k = 0; k < n; ++k) {
+        for (int i = 0; i < n; ++i) {
+            const size_t ik = static_cast<size_t>(i) * n + k;
+            if (distCycles[ik] == kInf)
+                continue;
+            for (int j = 0; j < n; ++j) {
+                const size_t kj = static_cast<size_t>(k) * n + j;
+                const size_t ij = static_cast<size_t>(i) * n + j;
+                double cand = distCycles[ik] + distCycles[kj];
+                if (cand < distCycles[ij]) {
+                    distCycles[ij] = cand;
+                    distHops[ij] = distHops[ik] + distHops[kj];
+                }
+            }
+        }
+    }
+}
+
+std::vector<double>
+CriticalityAnalyzer::distanceMatrixCycles(
+    const std::vector<bool> &poweredOn) const
+{
+    std::vector<double> hops;
+    std::vector<double> cycles;
+    shortestPaths(poweredOn, hops, cycles);
+    return cycles;
+}
+
+CriticalityPoint
+CriticalityAnalyzer::analyze(const std::vector<bool> &poweredOn) const
+{
+    const int n = mesh_.numNodes();
+    std::vector<double> hops;
+    std::vector<double> cycles;
+    shortestPaths(poweredOn, hops, cycles);
+
+    double sumHops = 0.0;
+    double sumCycles = 0.0;
+    int pairs = 0;
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            if (i == j)
+                continue;
+            const size_t ij = static_cast<size_t>(i) * n + j;
+            NORD_ASSERT(cycles[ij] != kInf,
+                        "network disconnected between %d and %d", i, j);
+            sumHops += hops[ij];
+            sumCycles += cycles[ij];
+            ++pairs;
+        }
+    }
+
+    CriticalityPoint pt;
+    pt.numPoweredOn = static_cast<int>(
+        std::count(poweredOn.begin(), poweredOn.end(), true));
+    pt.avgDistanceHops = sumHops / pairs;
+    pt.avgPerHopLatency = sumCycles / sumHops;
+    for (NodeId x = 0; x < n; ++x) {
+        if (poweredOn[x])
+            pt.poweredOn.push_back(x);
+    }
+    return pt;
+}
+
+std::vector<CriticalityPoint>
+CriticalityAnalyzer::greedySweep() const
+{
+    const int n = mesh_.numNodes();
+    std::vector<bool> on(n, false);
+    std::vector<CriticalityPoint> sweep;
+    sweep.push_back(analyze(on));
+
+    for (int k = 1; k <= n; ++k) {
+        int best = -1;
+        double bestDist = kInf;
+        double bestLat = kInf;
+        for (NodeId cand = 0; cand < n; ++cand) {
+            if (on[cand])
+                continue;
+            on[cand] = true;
+            CriticalityPoint pt = analyze(on);
+            on[cand] = false;
+            if (pt.avgDistanceHops < bestDist ||
+                (pt.avgDistanceHops == bestDist &&
+                 pt.avgPerHopLatency < bestLat)) {
+                best = cand;
+                bestDist = pt.avgDistanceHops;
+                bestLat = pt.avgPerHopLatency;
+            }
+        }
+        NORD_ASSERT(best >= 0, "greedy sweep found no candidate at k=%d", k);
+        on[best] = true;
+        sweep.push_back(analyze(on));
+    }
+    return sweep;
+}
+
+std::vector<NodeId>
+CriticalityAnalyzer::performanceCentricSet(int count) const
+{
+    NORD_ASSERT(count >= 0 && count <= mesh_.numNodes(),
+                "bad performance-centric count %d", count);
+    auto sweep = greedySweep();
+    std::vector<NodeId> set = sweep[count].poweredOn;
+    std::sort(set.begin(), set.end());
+    return set;
+}
+
+int
+CriticalityAnalyzer::kneePoint(const std::vector<CriticalityPoint> &sweep,
+                               double slackHops)
+{
+    NORD_ASSERT(!sweep.empty(), "empty sweep");
+    // Diminishing-returns knee: the smallest k after which no single
+    // additional router improves the average distance by slackHops or
+    // more. For the paper's 4x4 mesh this lands at 6 routers (Fig. 6).
+    for (size_t k = 0; k + 1 < sweep.size(); ++k) {
+        bool flat = true;
+        for (size_t j = k; j + 1 < sweep.size(); ++j) {
+            if (sweep[j].avgDistanceHops - sweep[j + 1].avgDistanceHops >=
+                slackHops) {
+                flat = false;
+                break;
+            }
+        }
+        if (flat)
+            return static_cast<int>(k);
+    }
+    return static_cast<int>(sweep.size()) - 1;
+}
+
+}  // namespace nord

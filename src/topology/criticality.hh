@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Off-line router-criticality analysis (Section 4.4 / Figure 6).
+ *
+ * The paper selects performance-centric routers with "a short off-line
+ * program based on the Floyd-Warshall all-pair shortest path algorithm".
+ * Given a set of powered-on routers, the reachability graph is:
+ *
+ *  - a powered-off router X contributes only its ring edge
+ *    X -> ringSuccessor(X) (traffic traverses X through the NI bypass);
+ *  - a powered-on router X contributes edges to every mesh neighbor Y that
+ *    is powered on, plus the edge to Y when X is Y's ring predecessor
+ *    (the only way into a gated-off router is its Bypass Inport).
+ *
+ * Hop costs model latency: a hop into a powered-on router costs the full
+ * pipeline (4 stages + LT), a hop into a gated-off router costs the bypass
+ * pipeline (2 stages + LT).
+ */
+
+#ifndef NORD_TOPOLOGY_CRITICALITY_HH
+#define NORD_TOPOLOGY_CRITICALITY_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "topology/bypass_ring.hh"
+#include "topology/mesh.hh"
+
+namespace nord {
+
+/** Result of analyzing one powered-on set. */
+struct CriticalityPoint
+{
+    int numPoweredOn = 0;
+    double avgDistanceHops = 0.0;   ///< mean node-to-node distance (hops)
+    double avgPerHopLatency = 0.0;  ///< mean per-hop latency (cycles)
+    std::vector<NodeId> poweredOn;  ///< the router set analyzed
+};
+
+/**
+ * Analyzer producing Figure 6 and the performance-centric router set.
+ */
+class CriticalityAnalyzer
+{
+  public:
+    /**
+     * @param mesh the mesh topology
+     * @param ring the bypass ring over that mesh
+     * @param onRouterHopCycles per-hop latency through a powered-on router
+     *        (default 5: 4-stage pipeline + LT)
+     * @param offRouterHopCycles per-hop latency through a bypassed router
+     *        (default 3: 2-cycle bypass + LT)
+     */
+    CriticalityAnalyzer(const MeshTopology &mesh, const BypassRing &ring,
+                        int onRouterHopCycles = 5,
+                        int offRouterHopCycles = 3);
+
+    /**
+     * Average node-to-node distance (hops) and per-hop latency for a given
+     * powered-on set, via Floyd-Warshall over the mixed graph.
+     */
+    CriticalityPoint analyze(const std::vector<bool> &poweredOn) const;
+
+    /**
+     * All-pairs shortest distances in cycles over the mixed graph
+     * (row-major n*n). Used as the static steering table for NoRD's
+     * adaptive routing: entry [i*n+j] is the cost from i to j assuming
+     * exactly @p poweredOn routers are on.
+     */
+    std::vector<double>
+    distanceMatrixCycles(const std::vector<bool> &poweredOn) const;
+
+    /**
+     * Greedy sweep: starting from all routers off, repeatedly power on the
+     * router that minimizes average node-to-node distance (per-hop latency
+     * as tie-break). Returns numNodes()+1 points (k = 0 .. numNodes).
+     */
+    std::vector<CriticalityPoint> greedySweep() const;
+
+    /**
+     * The performance-centric router set of size @p count: the first
+     * @p count routers chosen by the greedy sweep.
+     */
+    std::vector<NodeId> performanceCentricSet(int count) const;
+
+    /**
+     * Pick a knee point from a greedy sweep: the smallest k after which
+     * no single additional router reduces the average distance by
+     * @p slackHops or more (diminishing returns). The paper's 4x4
+     * example lands at k = 6.
+     */
+    static int kneePoint(const std::vector<CriticalityPoint> &sweep,
+                         double slackHops = 0.5);
+
+  private:
+    /**
+     * All-pairs shortest distances in hops and in cycles.
+     * dist[i*n+j] is hops, lat[i*n+j] is cycles.
+     */
+    void shortestPaths(const std::vector<bool> &poweredOn,
+                       std::vector<double> &distHops,
+                       std::vector<double> &distCycles) const;
+
+    const MeshTopology &mesh_;
+    const BypassRing &ring_;
+    int onHopCycles_;
+    int offHopCycles_;
+};
+
+}  // namespace nord
+
+#endif  // NORD_TOPOLOGY_CRITICALITY_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Synthetic traffic implementation.
+ */
+
+#include "traffic/synthetic_traffic.hh"
+
+#include "common/log.hh"
+#include "network/noc_system.hh"
+
+namespace nord {
+
+const char *
+trafficPatternName(TrafficPattern p)
+{
+    switch (p) {
+      case TrafficPattern::kUniformRandom: return "uniform_random";
+      case TrafficPattern::kBitComplement: return "bit_complement";
+      case TrafficPattern::kTranspose: return "transpose";
+      case TrafficPattern::kHotspot: return "hotspot";
+    }
+    return "?";
+}
+
+SyntheticTraffic::SyntheticTraffic(TrafficPattern pattern,
+                                   double flitsPerNodeCycle,
+                                   std::uint64_t seed, int shortLen,
+                                   int longLen, double longFraction)
+    : pattern_(pattern), flitRate_(flitsPerNodeCycle), shortLen_(shortLen),
+      longLen_(longLen), longFraction_(longFraction), rng_(seed)
+{
+}
+
+void
+SyntheticTraffic::bind(NocSystem &system)
+{
+    Workload::bind(system);
+    numNodes_ = system.config().numNodes();
+    setRate(flitRate_);
+}
+
+void
+SyntheticTraffic::setRate(double flitsPerNodeCycle)
+{
+    flitRate_ = flitsPerNodeCycle;
+    const double avgLen = longFraction_ * longLen_ +
+                          (1.0 - longFraction_) * shortLen_;
+    packetRate_ = flitRate_ / avgLen;
+    NORD_ASSERT(packetRate_ <= 1.0, "injection rate %.3f too high",
+                flitRate_);
+}
+
+NodeId
+SyntheticTraffic::pickDestination(NodeId src)
+{
+    const auto &mesh = system_->mesh();
+    switch (pattern_) {
+      case TrafficPattern::kUniformRandom: {
+        NodeId dst = static_cast<NodeId>(
+            rng_.uniformInt(static_cast<std::uint64_t>(numNodes_ - 1)));
+        if (dst >= src)
+            ++dst;  // uniform over all nodes except src
+        return dst;
+      }
+      case TrafficPattern::kBitComplement: {
+        // Complement both coordinates: (x, y) -> (X-1-x, Y-1-y).
+        const int r = mesh.rows() - 1 - mesh.rowOf(src);
+        const int c = mesh.cols() - 1 - mesh.colOf(src);
+        return mesh.nodeAt(r, c);
+      }
+      case TrafficPattern::kTranspose: {
+        const int r = mesh.rowOf(src);
+        const int c = mesh.colOf(src);
+        const int rows = mesh.rows();
+        const int cols = mesh.cols();
+        // Transpose within the smaller square; off-square nodes mirror.
+        return mesh.nodeAt(c % rows, r % cols);
+      }
+      case TrafficPattern::kHotspot: {
+        // 25% of the traffic targets node 0, the rest is uniform.
+        if (rng_.bernoulli(0.25) && src != 0)
+            return 0;
+        NodeId dst = static_cast<NodeId>(
+            rng_.uniformInt(static_cast<std::uint64_t>(numNodes_ - 1)));
+        if (dst >= src)
+            ++dst;
+        return dst;
+      }
+    }
+    return 0;
+}
+
+void
+SyntheticTraffic::tick(Cycle)
+{
+    for (NodeId src = 0; src < numNodes_; ++src) {
+        if (!rng_.bernoulli(packetRate_))
+            continue;
+        NodeId dst = pickDestination(src);
+        if (dst == src)
+            continue;
+        const int len = rng_.bernoulli(longFraction_) ? longLen_
+                                                      : shortLen_;
+        system_->inject(src, dst, len);
+    }
+}
+
+}  // namespace nord

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Abstract workload driving a simulated network.
+ *
+ * A workload is ticked once per cycle (after routers, before NIs) and may
+ * inject packets through the NocSystem. Closed-loop workloads react to
+ * packet deliveries (request/reply transactions); open-loop synthetic
+ * workloads ignore them.
+ */
+
+#ifndef NORD_TRAFFIC_WORKLOAD_HH
+#define NORD_TRAFFIC_WORKLOAD_HH
+
+#include "common/flit.hh"
+#include "common/types.hh"
+
+namespace nord {
+
+class NocSystem;
+
+/**
+ * Traffic source interface.
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Called once when attached to @p system. */
+    virtual void bind(NocSystem &system) { system_ = &system; }
+
+    /** Generate this cycle's traffic. */
+    virtual void tick(Cycle now) = 0;
+
+    /** A packet's tail flit reached its destination node. */
+    virtual void onDelivery(const Flit &tail, Cycle now)
+    {
+        (void)tail;
+        (void)now;
+    }
+
+    /** Closed-loop workloads: all scripted work completed. */
+    virtual bool done() const { return false; }
+
+  protected:
+    NocSystem *system_ = nullptr;
+};
+
+}  // namespace nord
+
+#endif  // NORD_TRAFFIC_WORKLOAD_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the Floyd-Warshall criticality analysis (Figure 6).
+ */
+
+#include <gtest/gtest.h>
+
+#include "topology/criticality.hh"
+
+namespace nord {
+namespace {
+
+class CriticalityTest : public ::testing::Test
+{
+  protected:
+    CriticalityTest() : mesh(4, 4), ring(mesh), analyzer(mesh, ring) {}
+
+    MeshTopology mesh;
+    BypassRing ring;
+    CriticalityAnalyzer analyzer;
+};
+
+TEST_F(CriticalityTest, AllOnMatchesMeshAverage)
+{
+    std::vector<bool> on(16, true);
+    CriticalityPoint pt = analyzer.analyze(on);
+    // Average pairwise Manhattan distance of a 4x4 mesh is 8/3.
+    EXPECT_NEAR(pt.avgDistanceHops, 8.0 / 3.0, 1e-9);
+    EXPECT_NEAR(pt.avgPerHopLatency, 5.0, 1e-9);
+}
+
+TEST_F(CriticalityTest, AllOffIsTheRing)
+{
+    std::vector<bool> off(16, false);
+    CriticalityPoint pt = analyzer.analyze(off);
+    // Unidirectional 16-ring: mean forward distance = (1+...+15)/15 = 8.
+    EXPECT_NEAR(pt.avgDistanceHops, 8.0, 1e-9);
+    EXPECT_NEAR(pt.avgPerHopLatency, 3.0, 1e-9);
+}
+
+TEST_F(CriticalityTest, GreedySweepShape)
+{
+    auto sweep = analyzer.greedySweep();
+    ASSERT_EQ(sweep.size(), 17u);
+    // Distance is non-increasing in k; per-hop latency rises overall.
+    for (size_t k = 1; k < sweep.size(); ++k) {
+        EXPECT_LE(sweep[k].avgDistanceHops,
+                  sweep[k - 1].avgDistanceHops + 1e-9);
+        EXPECT_EQ(sweep[k].numPoweredOn, static_cast<int>(k));
+    }
+    EXPECT_LT(sweep.front().avgPerHopLatency,
+              sweep.back().avgPerHopLatency);
+}
+
+TEST_F(CriticalityTest, KneeMatchesPaper)
+{
+    // The paper's 4x4 example designates six performance-centric routers.
+    auto sweep = analyzer.greedySweep();
+    EXPECT_EQ(CriticalityAnalyzer::kneePoint(sweep), 6);
+}
+
+TEST_F(CriticalityTest, PerformanceCentricSetSizeAndValidity)
+{
+    auto set = analyzer.performanceCentricSet(6);
+    EXPECT_EQ(set.size(), 6u);
+    for (NodeId r : set) {
+        EXPECT_GE(r, 0);
+        EXPECT_LT(r, 16);
+    }
+    // Sorted and unique.
+    for (size_t i = 1; i < set.size(); ++i)
+        EXPECT_LT(set[i - 1], set[i]);
+}
+
+TEST_F(CriticalityTest, DistanceMatrixProperties)
+{
+    std::vector<bool> on(16, false);
+    on[5] = on[6] = on[9] = on[10] = true;  // center on
+    auto m = analyzer.distanceMatrixCycles(on);
+    ASSERT_EQ(m.size(), 256u);
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(m[i * 16 + i], 0.0);
+        for (int j = 0; j < 16; ++j) {
+            if (i != j) {
+                EXPECT_GT(m[i * 16 + j], 0.0);
+                EXPECT_LT(m[i * 16 + j], 16.0 * 5.0);
+            }
+        }
+    }
+    // Triangle inequality.
+    for (int i = 0; i < 16; ++i) {
+        for (int j = 0; j < 16; ++j) {
+            for (int k = 0; k < 16; ++k) {
+                EXPECT_LE(m[i * 16 + j],
+                          m[i * 16 + k] + m[k * 16 + j] + 1e-9);
+            }
+        }
+    }
+}
+
+TEST_F(CriticalityTest, SinglePoweredOnRouterStillConnected)
+{
+    for (NodeId r = 0; r < 16; ++r) {
+        std::vector<bool> on(16, false);
+        on[r] = true;
+        CriticalityPoint pt = analyzer.analyze(on);  // panics if split
+        EXPECT_GT(pt.avgDistanceHops, 0.0);
+    }
+}
+
+TEST(CriticalityLarge, EightByEightRingDistance)
+{
+    MeshTopology mesh(8, 8);
+    BypassRing ring(mesh);
+    CriticalityAnalyzer analyzer(mesh, ring);
+    std::vector<bool> off(64, false);
+    CriticalityPoint pt = analyzer.analyze(off);
+    // 64-ring: mean forward distance = 65*64/2/63... = sum(1..63)/63 = 32.
+    EXPECT_NEAR(pt.avgDistanceHops, 32.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace nord

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel and synthetic traffic sources.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "network/noc_system.hh"
+#include "sim/kernel.hh"
+#include "traffic/synthetic_traffic.hh"
+
+namespace nord {
+namespace {
+
+/** Records the cycles and order in which it was ticked. */
+class Probe : public Clocked
+{
+  public:
+    explicit Probe(std::vector<int> *log, int id) : log_(log), id_(id) {}
+    void tick(Cycle) override { log_->push_back(id_); }
+    std::string name() const override { return "probe"; }
+
+  private:
+    std::vector<int> *log_;
+    int id_;
+};
+
+TEST(SimKernel, TicksInRegistrationOrder)
+{
+    SimKernel kernel;
+    std::vector<int> log;
+    Probe a(&log, 1);
+    Probe b(&log, 2);
+    Probe c(&log, 3);
+    kernel.add(&a);
+    kernel.add(&b);
+    kernel.add(&c);
+    kernel.run(2);
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3, 1, 2, 3}));
+    EXPECT_EQ(kernel.now(), 2u);
+}
+
+TEST(SimKernel, RunUntilStopsAtPredicate)
+{
+    SimKernel kernel;
+    std::vector<int> log;
+    Probe a(&log, 1);
+    kernel.add(&a);
+    bool hit = kernel.runUntil([&] { return log.size() >= 5; }, 100);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(kernel.now(), 5u);
+}
+
+TEST(SimKernel, RunUntilHonorsLimit)
+{
+    SimKernel kernel;
+    std::vector<int> log;
+    Probe a(&log, 1);
+    kernel.add(&a);
+    bool hit = kernel.runUntil([] { return false; }, 7);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(kernel.now(), 7u);
+}
+
+TEST(SyntheticTraffic, RateIsRespected)
+{
+    NocConfig cfg;
+    cfg.design = PgDesign::kNoPg;
+    NocSystem sys(cfg);
+    SyntheticTraffic traffic(TrafficPattern::kUniformRandom, 0.10, 3);
+    sys.setWorkload(&traffic);
+    sys.run(50000);
+    // flits injected ~= rate * nodes * cycles.
+    const double expected = 0.10 * 16 * 50000;
+    EXPECT_NEAR(static_cast<double>(sys.stats().flitsInjected()),
+                expected, 0.08 * expected);
+}
+
+TEST(SyntheticTraffic, BimodalLengths)
+{
+    NocConfig cfg;
+    cfg.design = PgDesign::kNoPg;
+    NocSystem sys(cfg);
+    SyntheticTraffic traffic(TrafficPattern::kUniformRandom, 0.05, 3);
+    sys.setWorkload(&traffic);
+    sys.run(30000);
+    sys.setWorkload(nullptr);
+    ASSERT_TRUE(sys.runToCompletion(10000));
+    // Average packet length must be ~(1+5)/2 = 3 flits.
+    const double avgLen =
+        static_cast<double>(sys.stats().flitsDelivered()) /
+        static_cast<double>(sys.stats().packetsDelivered());
+    EXPECT_NEAR(avgLen, 3.0, 0.2);
+}
+
+TEST(SyntheticTraffic, BitComplementDestinations)
+{
+    NocConfig cfg;
+    cfg.design = PgDesign::kNoPg;
+    NocSystem sys(cfg);
+    // Bit-complement of (r, c) in 4x4: (3-r, 3-c): node 0 -> 15.
+    SyntheticTraffic traffic(TrafficPattern::kBitComplement, 0.05, 3);
+    sys.setWorkload(&traffic);
+    sys.run(5000);
+    sys.setWorkload(nullptr);
+    ASSERT_TRUE(sys.runToCompletion(10000));
+    // All delivered at complement nodes: hop count == manhattan + 1 of
+    // the complement pairs; for 4x4 all pairs have distance >= 2.
+    EXPECT_GT(sys.stats().avgHops(), 3.0);
+    EXPECT_EQ(sys.ni(15).packetsReceived(),
+              sys.stats().packetsDelivered() - [&] {
+                  std::uint64_t other = 0;
+                  for (NodeId n = 0; n < 15; ++n)
+                      other += sys.ni(n).packetsReceived();
+                  return other;
+              }());
+}
+
+TEST(SyntheticTraffic, PatternNames)
+{
+    EXPECT_STREQ(trafficPatternName(TrafficPattern::kUniformRandom),
+                 "uniform_random");
+    EXPECT_STREQ(trafficPatternName(TrafficPattern::kBitComplement),
+                 "bit_complement");
+    EXPECT_STREQ(trafficPatternName(TrafficPattern::kTranspose),
+                 "transpose");
+    EXPECT_STREQ(trafficPatternName(TrafficPattern::kHotspot), "hotspot");
+}
+
+TEST(NocConfigTest, ValidationCatchesBadSetups)
+{
+    NocConfig cfg;
+    cfg.numEscapeVcs = 4;  // == numVcs: no adaptive class left
+    EXPECT_EXIT({ cfg.validate(); }, ::testing::ExitedWithCode(1), "");
+
+    NocConfig odd;
+    odd.rows = 3;
+    EXPECT_EXIT({ odd.validate(); }, ::testing::ExitedWithCode(1), "");
+
+    NocConfig nordOneEscape;
+    nordOneEscape.design = PgDesign::kNord;
+    nordOneEscape.numVcs = 4;
+    nordOneEscape.numEscapeVcs = 1;
+    EXPECT_EXIT({ nordOneEscape.validate(); },
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(NocConfigTest, VcClassHelpers)
+{
+    NocConfig cfg;  // 4 VCs, 2 escape
+    EXPECT_EQ(cfg.vcClassOf(0), VcClass::kEscape);
+    EXPECT_EQ(cfg.vcClassOf(1), VcClass::kEscape);
+    EXPECT_EQ(cfg.vcClassOf(2), VcClass::kAdaptive);
+    EXPECT_EQ(cfg.vcClassOf(3), VcClass::kAdaptive);
+    EXPECT_EQ(cfg.firstVcOf(VcClass::kEscape), 0);
+    EXPECT_EQ(cfg.firstVcOf(VcClass::kAdaptive), 2);
+    EXPECT_EQ(cfg.numVcsOf(VcClass::kEscape), 2);
+    EXPECT_EQ(cfg.numVcsOf(VcClass::kAdaptive), 2);
+}
+
+TEST(TypesTest, DirectionHelpers)
+{
+    EXPECT_EQ(opposite(Direction::kNorth), Direction::kSouth);
+    EXPECT_EQ(opposite(Direction::kEast), Direction::kWest);
+    EXPECT_EQ(opposite(Direction::kLocal), Direction::kLocal);
+    EXPECT_EQ(indexDir(dirIndex(Direction::kWest)), Direction::kWest);
+    EXPECT_STREQ(pgDesignName(PgDesign::kNord), "NoRD");
+    EXPECT_STREQ(powerStateName(PowerState::kWakingUp), "waking");
+    EXPECT_TRUE(isHead(FlitType::kHeadTail));
+    EXPECT_TRUE(isTail(FlitType::kHeadTail));
+    EXPECT_FALSE(isHead(FlitType::kBody));
+    EXPECT_FALSE(isTail(FlitType::kHead));
+}
+
+}  // namespace
+}  // namespace nord

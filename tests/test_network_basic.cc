@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Integration tests: basic packet transport through the assembled network
+ * under every design.
+ */
+
+#include <gtest/gtest.h>
+
+#include "network/noc_system.hh"
+
+namespace nord {
+namespace {
+
+NocConfig
+configFor(PgDesign design)
+{
+    NocConfig cfg;
+    cfg.design = design;
+    return cfg;
+}
+
+class BasicTransportTest : public ::testing::TestWithParam<PgDesign>
+{
+};
+
+TEST_P(BasicTransportTest, SinglePacketDelivered)
+{
+    NocSystem sys(configFor(GetParam()));
+    sys.inject(0, 15, 5);
+    ASSERT_TRUE(sys.runToCompletion(5000));
+    EXPECT_EQ(sys.stats().packetsDelivered(), 1u);
+    EXPECT_EQ(sys.stats().flitsDelivered(), 5u);
+    EXPECT_TRUE(sys.drained());
+}
+
+TEST_P(BasicTransportTest, AllPairsDelivered)
+{
+    NocSystem sys(configFor(GetParam()));
+    int expected = 0;
+    for (NodeId s = 0; s < 16; ++s) {
+        for (NodeId d = 0; d < 16; ++d) {
+            if (s != d) {
+                sys.inject(s, d, 1);
+                ++expected;
+            }
+        }
+    }
+    ASSERT_TRUE(sys.runToCompletion(50000));
+    EXPECT_EQ(sys.stats().packetsDelivered(),
+              static_cast<std::uint64_t>(expected));
+}
+
+TEST_P(BasicTransportTest, SelfPacketLoopsBack)
+{
+    NocSystem sys(configFor(GetParam()));
+    sys.inject(3, 3, 5);
+    ASSERT_TRUE(sys.runToCompletion(2000));
+    EXPECT_EQ(sys.stats().packetsDelivered(), 1u);
+}
+
+TEST_P(BasicTransportTest, LongPacketWormhole)
+{
+    // A packet longer than the 5-flit buffer must stream through.
+    NocSystem sys(configFor(GetParam()));
+    sys.inject(0, 15, 12);
+    ASSERT_TRUE(sys.runToCompletion(5000));
+    EXPECT_EQ(sys.stats().packetsDelivered(), 1u);
+    EXPECT_EQ(sys.stats().flitsDelivered(), 12u);
+}
+
+TEST_P(BasicTransportTest, ManySmallPacketsConserved)
+{
+    NocSystem sys(configFor(GetParam()));
+    for (int round = 0; round < 30; ++round) {
+        for (NodeId s = 0; s < 16; ++s)
+            sys.inject(s, (s + 5 + round) % 16, 1 + (round % 2) * 4);
+    }
+    ASSERT_TRUE(sys.runToCompletion(200000));
+    EXPECT_EQ(sys.stats().packetsDelivered(),
+              sys.stats().packetsCreated());
+    EXPECT_EQ(sys.stats().flitsInjected(), sys.stats().flitsDelivered());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDesigns, BasicTransportTest,
+    ::testing::Values(PgDesign::kNoPg, PgDesign::kConvPg,
+                      PgDesign::kConvPgOpt, PgDesign::kNord),
+    [](const ::testing::TestParamInfo<PgDesign> &info) {
+        return pgDesignName(info.param);
+    });
+
+TEST(BasicTransport, ZeroLoadLatencyMatchesPipeline)
+{
+    // No_PG, one hop: NI packetization + 4-stage pipeline per router +
+    // LT. Two routers are traversed (source and destination).
+    NocSystem sys(configFor(PgDesign::kNoPg));
+    sys.inject(5, 6, 1);
+    ASSERT_TRUE(sys.runToCompletion(1000));
+    // Latency = creation to tail ejection: roughly 2 routers x 5 cycles
+    // + NI handoffs; allow slack but catch gross regressions.
+    double lat = sys.stats().avgPacketLatency();
+    EXPECT_GE(lat, 10.0);
+    EXPECT_LE(lat, 18.0);
+}
+
+TEST(BasicTransport, HopsAreMinimalUnderNoPg)
+{
+    NocSystem sys(configFor(PgDesign::kNoPg));
+    sys.inject(0, 15, 1);  // manhattan distance 6
+    ASSERT_TRUE(sys.runToCompletion(1000));
+    // Hops counts both the source and destination routers (+1).
+    EXPECT_NEAR(sys.stats().avgHops(), 7.0, 0.01);
+}
+
+TEST(BasicTransport, EightByEightWorks)
+{
+    NocConfig cfg;
+    cfg.rows = 8;
+    cfg.cols = 8;
+    cfg.design = PgDesign::kNord;
+    NocSystem sys(cfg);
+    for (NodeId s = 0; s < 64; s += 3)
+        sys.inject(s, 63 - s, 5);
+    ASSERT_TRUE(sys.runToCompletion(20000));
+    EXPECT_EQ(sys.stats().packetsDelivered(),
+              sys.stats().packetsCreated());
+}
+
+TEST(BasicTransport, RectangularMeshWorks)
+{
+    NocConfig cfg;
+    cfg.rows = 4;
+    cfg.cols = 6;
+    cfg.design = PgDesign::kNord;
+    NocSystem sys(cfg);
+    for (NodeId s = 0; s < cfg.numNodes(); ++s)
+        sys.inject(s, cfg.numNodes() - 1 - s, 1);
+    ASSERT_TRUE(sys.runToCompletion(20000));
+    EXPECT_EQ(sys.stats().packetsDelivered(),
+              sys.stats().packetsCreated());
+}
+
+TEST(BasicTransport, PowerStateResidencyAccountsEveryCycle)
+{
+    NocSystem sys(configFor(PgDesign::kConvPg));
+    sys.inject(0, 15, 5);
+    sys.run(3000);
+    const ActivityCounters t = sys.stats().totals();
+    EXPECT_EQ(t.onCycles + t.offCycles + t.wakingCycles,
+              16ull * 3000ull);
+}
+
+}  // namespace
+}  // namespace nord

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the closed-loop PARSEC workload models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "network/noc_system.hh"
+#include "power/power_model.hh"
+#include "traffic/parsec_workload.hh"
+
+namespace nord {
+namespace {
+
+TEST(ParsecSuite, HasTenBenchmarks)
+{
+    EXPECT_EQ(parsecSuite().size(), 10u);
+    // The paper's benchmark list.
+    const char *names[] = {"blackscholes", "bodytrack", "canneal",
+                           "dedup", "ferret", "fluidanimate", "raytrace",
+                           "swaptions", "vips", "x264"};
+    for (const char *n : names)
+        EXPECT_EQ(parsecByName(n).name, n);
+}
+
+TEST(ParsecSuite, LookupUnknownDies)
+{
+    EXPECT_EXIT({ parsecByName("nonexistent"); },
+                ::testing::ExitedWithCode(1), "unknown PARSEC");
+}
+
+/** Shrunk copy of a benchmark for fast tests. */
+ParsecParams
+quick(const std::string &name, int txns = 60)
+{
+    ParsecParams p = parsecByName(name);
+    p.transactionsPerCore = txns;
+    return p;
+}
+
+class ParsecRunTest : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(ParsecRunTest, RunsToCompletionUnderNord)
+{
+    NocConfig cfg;
+    cfg.design = PgDesign::kNord;
+    NocSystem sys(cfg);
+    ParsecWorkload wl(quick(GetParam()), 1);
+    sys.setWorkload(&wl);
+    ASSERT_TRUE(sys.runToCompletion(3000000));
+    EXPECT_TRUE(wl.done());
+    EXPECT_EQ(wl.completedTransactions(), wl.totalTransactions());
+    EXPECT_EQ(sys.stats().packetsDelivered(),
+              sys.stats().packetsCreated());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, ParsecRunTest,
+    ::testing::Values("blackscholes", "bodytrack", "canneal", "dedup",
+                      "ferret", "fluidanimate", "raytrace", "swaptions",
+                      "vips", "x264"));
+
+TEST(ParsecWorkloadTest, DeterministicAcrossRuns)
+{
+    Cycle times[2];
+    for (int i = 0; i < 2; ++i) {
+        NocConfig cfg;
+        cfg.design = PgDesign::kNoPg;
+        NocSystem sys(cfg);
+        ParsecWorkload wl(quick("canneal"), 42);
+        sys.setWorkload(&wl);
+        ASSERT_TRUE(sys.runToCompletion(3000000));
+        times[i] = sys.now();
+    }
+    EXPECT_EQ(times[0], times[1]);
+}
+
+TEST(ParsecWorkloadTest, SeedChangesSchedule)
+{
+    Cycle times[2];
+    std::uint64_t seeds[2] = {1, 2};
+    for (int i = 0; i < 2; ++i) {
+        NocConfig cfg;
+        cfg.design = PgDesign::kNoPg;
+        NocSystem sys(cfg);
+        ParsecWorkload wl(quick("canneal"), seeds[i]);
+        sys.setWorkload(&wl);
+        ASSERT_TRUE(sys.runToCompletion(3000000));
+        times[i] = sys.now();
+    }
+    EXPECT_NE(times[0], times[1]);
+}
+
+TEST(ParsecWorkloadTest, RunsUnderEveryDesign)
+{
+    for (int d = 0; d < 4; ++d) {
+        NocConfig cfg;
+        cfg.design = static_cast<PgDesign>(d);
+        NocSystem sys(cfg);
+        ParsecWorkload wl(quick("dedup", 40), 1);
+        sys.setWorkload(&wl);
+        ASSERT_TRUE(sys.runToCompletion(3000000))
+            << pgDesignName(cfg.design);
+        EXPECT_TRUE(wl.done());
+    }
+}
+
+TEST(ParsecWorkloadTest, IdlenessOrderingMatchesPaper)
+{
+    // x264 is the busiest model, blackscholes among the lightest
+    // (Section 3.1). Compare their idleness on short runs.
+    double idle[2];
+    const char *names[2] = {"x264", "blackscholes"};
+    for (int i = 0; i < 2; ++i) {
+        NocConfig cfg;
+        cfg.design = PgDesign::kNoPg;
+        NocSystem sys(cfg);
+        ParsecWorkload wl(quick(names[i], 150), 1);
+        sys.setWorkload(&wl);
+        ASSERT_TRUE(sys.runToCompletion(5000000));
+        sys.finalizeStats();
+        idle[i] = sys.stats().avgIdleFraction();
+    }
+    EXPECT_LT(idle[0], idle[1]);
+}
+
+TEST(ParsecWorkloadTest, FragmentedIdlePeriods)
+{
+    // Section 3.2: a majority of idle periods are at or below the BET.
+    NocConfig cfg;
+    cfg.design = PgDesign::kNoPg;
+    NocSystem sys(cfg);
+    ParsecWorkload wl(quick("canneal", 150), 1);
+    sys.setWorkload(&wl);
+    ASSERT_TRUE(sys.runToCompletion(5000000));
+    sys.finalizeStats();
+    EXPECT_GT(sys.stats().combinedIdleHistogram().fractionAtOrBelow(
+                  cfg.betCycles),
+              0.5);
+}
+
+TEST(ParsecWorkloadTest, MemoryTrafficReachesCorners)
+{
+    // Memory controllers sit at the corners (Table 1); corner routers
+    // must see traffic even though cores are everywhere.
+    NocConfig cfg;
+    cfg.design = PgDesign::kNoPg;
+    NocSystem sys(cfg);
+    ParsecParams p = quick("canneal", 120);
+    p.memFraction = 0.8;
+    ParsecWorkload wl(p, 1);
+    sys.setWorkload(&wl);
+    ASSERT_TRUE(sys.runToCompletion(5000000));
+    for (NodeId corner : {0, 3, 12, 15})
+        EXPECT_GT(sys.stats().router(corner).bufferWrites, 0u);
+}
+
+}  // namespace
+}  // namespace nord

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the conventional power-gating controllers and handshake
+ * (Sections 3.1 and 6).
+ */
+
+#include <gtest/gtest.h>
+
+#include "network/noc_system.hh"
+
+namespace nord {
+namespace {
+
+NocConfig
+configFor(PgDesign design)
+{
+    NocConfig cfg;
+    cfg.design = design;
+    return cfg;
+}
+
+TEST(PowerGating, NoPgNeverSleeps)
+{
+    NocSystem sys(configFor(PgDesign::kNoPg));
+    sys.run(2000);
+    EXPECT_EQ(sys.countInState(PowerState::kOn), 16);
+    EXPECT_EQ(sys.stats().totalWakeups(), 0u);
+    const ActivityCounters t = sys.stats().totals();
+    EXPECT_EQ(t.offCycles, 0u);
+    EXPECT_EQ(t.sleeps, 0u);
+}
+
+TEST(PowerGating, ConvPgSleepsWhenIdle)
+{
+    NocSystem sys(configFor(PgDesign::kConvPg));
+    sys.run(200);
+    // No traffic at all: every router should be gated off quickly.
+    EXPECT_EQ(sys.countInState(PowerState::kOff), 16);
+}
+
+TEST(PowerGating, ConvPgWakesForInjection)
+{
+    NocSystem sys(configFor(PgDesign::kConvPg));
+    sys.run(200);
+    ASSERT_EQ(sys.countInState(PowerState::kOff), 16);
+    sys.inject(0, 1, 1);
+    ASSERT_TRUE(sys.runToCompletion(2000));
+    EXPECT_EQ(sys.stats().packetsDelivered(), 1u);
+    // At least the source and destination routers woke up.
+    EXPECT_GE(sys.stats().totalWakeups(), 2u);
+}
+
+TEST(PowerGating, WakeupLatencyOnCriticalPath)
+{
+    // Conventional power-gating exposes the wakeup latency to packets:
+    // a packet sent into a fully gated network must be slower than in
+    // the always-on network by at least one wakeup latency.
+    NocConfig on = configFor(PgDesign::kNoPg);
+    NocSystem sysOn(on);
+    sysOn.inject(0, 15, 1);
+    ASSERT_TRUE(sysOn.runToCompletion(2000));
+    const double base = sysOn.stats().avgPacketLatency();
+
+    NocConfig cfg = configFor(PgDesign::kConvPg);
+    NocSystem sys(cfg);
+    sys.run(200);  // let everything gate off
+    sys.inject(0, 15, 1);
+    ASSERT_TRUE(sys.runToCompletion(3000));
+    EXPECT_GE(sys.stats().avgPacketLatency(),
+              base + cfg.wakeupLatency - 2.0);
+}
+
+TEST(PowerGating, EarlyWakeupReducesPenalty)
+{
+    // Conv_PG_OPT hides part of the wakeup latency relative to Conv_PG.
+    double lat[2];
+    const PgDesign designs[2] = {PgDesign::kConvPg, PgDesign::kConvPgOpt};
+    for (int i = 0; i < 2; ++i) {
+        NocSystem sys(configFor(designs[i]));
+        sys.run(300);
+        for (int round = 0; round < 50; ++round) {
+            sys.inject(0, 15, 1);
+            ASSERT_TRUE(sys.runToCompletion(5000));
+            sys.run(100);  // let routers re-gate between packets
+        }
+        lat[i] = sys.stats().avgPacketLatency();
+    }
+    EXPECT_LT(lat[1], lat[0]);
+}
+
+TEST(PowerGating, OptSleepGuardReducesSleeps)
+{
+    // The OPT sleep guard (4 empty cycles) must produce fewer state
+    // transitions than Conv_PG's immediate gating for bursty traffic.
+    std::uint64_t sleeps[2];
+    const PgDesign designs[2] = {PgDesign::kConvPg, PgDesign::kConvPgOpt};
+    for (int i = 0; i < 2; ++i) {
+        NocSystem sys(configFor(designs[i]));
+        for (int round = 0; round < 60; ++round) {
+            sys.inject(round % 16, (round + 3) % 16, 1);
+            sys.run(30);
+        }
+        ASSERT_TRUE(sys.runToCompletion(10000));
+        sleeps[i] = sys.stats().totals().sleeps;
+    }
+    EXPECT_LE(sleeps[1], sleeps[0]);
+}
+
+TEST(PowerGating, NoSleepMidPacket)
+{
+    // Drive a steady stream and check the invariant that routers never
+    // gate with buffered flits (the router asserts internally; this test
+    // also checks the IC handshake by observing zero flit loss).
+    NocSystem sys(configFor(PgDesign::kConvPg));
+    for (int i = 0; i < 200; ++i)
+        sys.inject(i % 16, (i * 7 + 3) % 16, 5);
+    ASSERT_TRUE(sys.runToCompletion(100000));
+    EXPECT_EQ(sys.stats().packetsDelivered(), 200u);
+}
+
+TEST(PowerGating, GatedDesignSavesStaticEnergy)
+{
+    // Light traffic: Conv_PG must spend substantially fewer powered-on
+    // cycles than No_PG.
+    ActivityCounters totals[2];
+    const PgDesign designs[2] = {PgDesign::kNoPg, PgDesign::kConvPg};
+    for (int i = 0; i < 2; ++i) {
+        NocSystem sys(configFor(designs[i]));
+        for (int round = 0; round < 10; ++round) {
+            sys.inject(round % 16, (round + 8) % 16, 1);
+            sys.run(500);
+        }
+        totals[i] = sys.stats().totals();
+    }
+    EXPECT_LT(totals[1].onCycles + totals[1].wakingCycles,
+              totals[0].onCycles / 2);
+}
+
+TEST(PowerGating, WakeupTakesConfiguredCycles)
+{
+    NocConfig cfg = configFor(PgDesign::kConvPg);
+    cfg.wakeupLatency = 20;
+    NocSystem sys(cfg);
+    sys.run(200);
+    ASSERT_EQ(sys.countInState(PowerState::kOff), 16);
+    sys.inject(0, 1, 1);
+    // The NI raises WU on the next NI tick; the router must stay in
+    // WakingUp for 20 cycles before turning on.
+    sys.run(10);
+    EXPECT_EQ(sys.controller(0).state(), PowerState::kWakingUp);
+    sys.run(25);
+    EXPECT_EQ(sys.controller(0).state(), PowerState::kOn);
+}
+
+}  // namespace
+}  // namespace nord

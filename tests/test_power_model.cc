@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for the technology/power/area models against the paper's anchors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/area_model.hh"
+#include "power/power_model.hh"
+#include "power/tech_params.hh"
+
+namespace nord {
+namespace {
+
+TEST(TechParams, PaperDefault)
+{
+    TechParams t = TechParams::paperDefault();
+    EXPECT_EQ(t.node, TechNode::k45nm);
+    EXPECT_DOUBLE_EQ(t.voltage, 1.1);
+    EXPECT_NEAR(t.cycleTime(), 1.0 / 3e9, 1e-15);
+}
+
+TEST(TechParams, ScalesAreOneAtAnchor)
+{
+    TechParams t{TechNode::k45nm, 1.1, 3.0};
+    EXPECT_NEAR(t.staticScale(), 1.0, 1e-12);
+    EXPECT_NEAR(t.dynamicScale(), 1.0, 1e-12);
+}
+
+TEST(TechParams, DynamicScalesWithVSquared)
+{
+    TechParams hi{TechNode::k45nm, 1.1, 3.0};
+    TechParams lo{TechNode::k45nm, 1.0, 3.0};
+    EXPECT_NEAR(lo.dynamicScale() / hi.dynamicScale(),
+                (1.0 / 1.1) * (1.0 / 1.1), 1e-12);
+}
+
+TEST(PowerModel, StaticShareAnchors)
+{
+    // Figure 1a headline numbers.
+    PowerModel p65(TechParams{TechNode::k65nm, 1.2, 3.0});
+    EXPECT_NEAR(p65.staticShareAtReference(), 0.179, 0.02);
+    PowerModel p45(TechParams{TechNode::k45nm, 1.1, 3.0});
+    EXPECT_NEAR(p45.staticShareAtReference(), 0.354, 0.02);
+    PowerModel p32(TechParams{TechNode::k32nm, 1.0, 3.0});
+    EXPECT_NEAR(p32.staticShareAtReference(), 0.477, 0.02);
+}
+
+TEST(PowerModel, StaticShareGrowsWithScaling)
+{
+    PowerModel p65(TechParams{TechNode::k65nm, 1.2, 3.0});
+    PowerModel p45(TechParams{TechNode::k45nm, 1.1, 3.0});
+    PowerModel p32(TechParams{TechNode::k32nm, 1.0, 3.0});
+    EXPECT_LT(p65.staticShareAtReference(), p45.staticShareAtReference());
+    EXPECT_LT(p45.staticShareAtReference(), p32.staticShareAtReference());
+}
+
+TEST(PowerModel, StaticComponentSharesSumToOne)
+{
+    EXPECT_NEAR(PowerModel::kBufferStaticShare +
+                    PowerModel::kVaStaticShare +
+                    PowerModel::kSaStaticShare +
+                    PowerModel::kXbarStaticShare +
+                    PowerModel::kClockStaticShare,
+                1.0, 1e-12);
+    // Buffers dominate (55% per Figure 1b).
+    EXPECT_NEAR(PowerModel::kBufferStaticShare, 0.55, 1e-12);
+}
+
+TEST(PowerModel, BreakEvenRoundTrip)
+{
+    PowerModel pm;
+    double ovh = pm.wakeupOverheadEnergy(10);
+    EXPECT_NEAR(pm.breakEvenCycles(ovh), 10.0, 1e-9);
+    EXPECT_GT(ovh, 0.0);
+}
+
+TEST(PowerModel, BypassHopCheaperThanRouterHop)
+{
+    PowerModel pm;
+    double bypass = pm.bypassLatchEnergy() + pm.bypassForwardEnergy();
+    EXPECT_LT(bypass, pm.routerHopEnergy());
+}
+
+TEST(PowerModel, GatedResidualOrdering)
+{
+    PowerModel pm;
+    // NoRD keeps more always-on hardware (latches, muxes) than a bare
+    // PG controller, but far less than the full router.
+    EXPECT_GT(pm.gatedResidualPower(PgDesign::kNord),
+              pm.gatedResidualPower(PgDesign::kConvPg));
+    EXPECT_LT(pm.gatedResidualPower(PgDesign::kNord),
+              0.10 * pm.routerStaticPower());
+}
+
+TEST(PowerModel, ComputeEnergyArithmetic)
+{
+    PowerModel pm;
+    NetworkStats stats(1, 0);
+    ActivityCounters &c = stats.router(0);
+    c.onCycles = 1000;
+    c.offCycles = 0;
+    c.bufferWrites = 10;
+    c.bufferReads = 10;
+    c.vcAllocs = 2;
+    c.swAllocs = 10;
+    c.xbarTraversals = 10;
+    c.linkTraversals = 10;
+    c.wakeups = 3;
+
+    EnergyBreakdown e = pm.compute(stats, 1000, 4, PgDesign::kConvPg, 10);
+    const double tc = pm.tech().cycleTime();
+    EXPECT_NEAR(e.routerStatic, 1000 * pm.routerStaticPower() * tc, 1e-15);
+    EXPECT_NEAR(e.linkStatic, 4 * pm.linkStaticPower() * 1000 * tc, 1e-15);
+    EXPECT_NEAR(e.pgOverhead, 3 * pm.wakeupOverheadEnergy(10), 1e-18);
+    EXPECT_NEAR(e.routerDynamic,
+                10 * (pm.bufferWriteEnergy() + pm.bufferReadEnergy() +
+                      pm.swAllocEnergy() + pm.xbarEnergy()) +
+                    2 * pm.vcAllocEnergy(),
+                1e-18);
+    EXPECT_NEAR(e.linkDynamic, 10 * pm.linkTraversalEnergy(), 1e-18);
+    EXPECT_NEAR(e.total(), e.routerStatic + e.routerDynamic +
+                               e.linkStatic + e.linkDynamic + e.pgOverhead,
+                1e-18);
+}
+
+TEST(PowerModel, OffCyclesLeakOnlyResidual)
+{
+    PowerModel pm;
+    NetworkStats stats(1, 0);
+    stats.router(0).offCycles = 1000;
+    EnergyBreakdown e = pm.compute(stats, 1000, 0, PgDesign::kNord, 10);
+    const double tc = pm.tech().cycleTime();
+    EXPECT_NEAR(e.routerStatic,
+                1000 * pm.gatedResidualPower(PgDesign::kNord) * tc, 1e-15);
+}
+
+TEST(AreaModel, NordOverheadMatchesPaper)
+{
+    NocConfig cfg;
+    AreaModel area(cfg);
+    // Section 6.8: 3.1% over Conv_PG_OPT, small in absolute terms.
+    EXPECT_NEAR(area.overheadVs(PgDesign::kNord, PgDesign::kConvPgOpt),
+                0.031, 0.008);
+}
+
+TEST(AreaModel, PgSwitchWithinPaperRange)
+{
+    NocConfig cfg;
+    AreaModel area(cfg);
+    double frac = area.pgSwitchArea() / area.baseRouterArea();
+    EXPECT_GE(frac, 0.04);
+    EXPECT_LE(frac, 0.10);
+}
+
+TEST(AreaModel, BuffersDominate)
+{
+    NocConfig cfg;
+    AreaModel area(cfg);
+    EXPECT_GT(area.bufferArea(), area.controlArea());
+    EXPECT_GT(area.bufferArea(), area.crossbarArea());
+    EXPECT_GT(area.bufferArea(), 0.5 * area.baseRouterArea());
+}
+
+TEST(AreaModel, MonotoneInDesign)
+{
+    NocConfig cfg;
+    AreaModel area(cfg);
+    EXPECT_LT(area.totalArea(PgDesign::kNoPg),
+              area.totalArea(PgDesign::kConvPg));
+    EXPECT_EQ(area.totalArea(PgDesign::kConvPg),
+              area.totalArea(PgDesign::kConvPgOpt));
+    EXPECT_LT(area.totalArea(PgDesign::kConvPgOpt),
+              area.totalArea(PgDesign::kNord));
+}
+
+class TechSweepTest
+    : public ::testing::TestWithParam<std::pair<TechNode, double>>
+{
+};
+
+TEST_P(TechSweepTest, SharesAreSane)
+{
+    auto [node, v] = GetParam();
+    PowerModel pm(TechParams{node, v, 3.0});
+    double share = pm.staticShareAtReference();
+    EXPECT_GT(share, 0.05);
+    EXPECT_LT(share, 0.75);
+    EXPECT_GT(pm.routerStaticPower(), 0.0);
+    EXPECT_GT(pm.linkStaticPower(), 0.0);
+    EXPECT_LT(pm.linkStaticPower(), pm.routerStaticPower());
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, TechSweepTest,
+    ::testing::Values(std::pair{TechNode::k65nm, 1.2},
+                      std::pair{TechNode::k65nm, 1.1},
+                      std::pair{TechNode::k65nm, 1.0},
+                      std::pair{TechNode::k45nm, 1.2},
+                      std::pair{TechNode::k45nm, 1.1},
+                      std::pair{TechNode::k45nm, 1.0},
+                      std::pair{TechNode::k32nm, 1.2},
+                      std::pair{TechNode::k32nm, 1.1},
+                      std::pair{TechNode::k32nm, 1.0}));
+
+}  // namespace
+}  // namespace nord

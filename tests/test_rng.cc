@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace nord {
+namespace {
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next64() == b.next64();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(7);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntInBounds)
+{
+    Rng r(9);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 10000; ++i) {
+        std::uint64_t v = r.uniformInt(10);
+        ASSERT_LT(v, 10u);
+        ++counts[v];
+    }
+    for (int c : counts)
+        EXPECT_NEAR(c, 1000, 150);
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng r(11);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += r.bernoulli(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng r(13);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(r.geometric(20.0));
+    EXPECT_NEAR(sum / n, 20.0, 1.0);
+}
+
+TEST(Rng, GeometricZeroMean)
+{
+    Rng r(15);
+    EXPECT_EQ(r.geometric(0.0), 0u);
+    EXPECT_EQ(r.geometric(-1.0), 0u);
+}
+
+class RngSeedTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RngSeedTest, NoShortCycles)
+{
+    Rng r(GetParam());
+    std::uint64_t first = r.next64();
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_NE(r.next64(), first) << "cycle after " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedTest,
+    ::testing::Values(0ull, 1ull, 42ull, 0xffffffffffffffffull,
+                      0xdeadbeefull));
+
+}  // namespace
+}  // namespace nord

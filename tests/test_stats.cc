@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for statistics collection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/network_stats.hh"
+
+namespace nord {
+namespace {
+
+TEST(IdlePeriodHistogram, BasicRecording)
+{
+    IdlePeriodHistogram h;
+    h.record(3);
+    h.record(7);
+    h.record(50);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.totalCycles(), 60u);
+    EXPECT_NEAR(h.mean(), 20.0, 1e-9);
+    EXPECT_EQ(h.countAtOrBelow(10), 2u);
+    EXPECT_NEAR(h.fractionAtOrBelow(10), 2.0 / 3.0, 1e-9);
+}
+
+TEST(IdlePeriodHistogram, OverflowBucket)
+{
+    IdlePeriodHistogram h(16);
+    h.record(1000);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.totalCycles(), 1000u);
+    EXPECT_EQ(h.countAtOrBelow(16), 0u);
+}
+
+TEST(IdlePeriodHistogram, EmptyIsZero)
+{
+    IdlePeriodHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.fractionAtOrBelow(10), 0.0);
+}
+
+TEST(NetworkStats, IdleSamplingBuildsPeriods)
+{
+    NetworkStats stats(1, 0);
+    // busy(2), idle(3), busy(1), idle(5)...
+    Cycle t = 0;
+    for (int i = 0; i < 2; ++i)
+        stats.routerIdleSample(0, false, t++);
+    for (int i = 0; i < 3; ++i)
+        stats.routerIdleSample(0, true, t++);
+    stats.routerIdleSample(0, false, t++);
+    for (int i = 0; i < 5; ++i)
+        stats.routerIdleSample(0, true, t++);
+    stats.finalize(t);
+
+    const IdlePeriodHistogram &h = stats.idleHistogram(0);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.totalCycles(), 8u);
+    EXPECT_EQ(stats.router(0).emptyCycles, 8u);
+    EXPECT_EQ(stats.router(0).busyCycles, 3u);
+}
+
+TEST(NetworkStats, LatencyAccounting)
+{
+    NetworkStats stats(1, 0);
+    Flit tail;
+    tail.type = FlitType::kHeadTail;
+    tail.length = 1;
+    tail.createdAt = 10;
+    tail.hops = 4;
+    stats.packetDelivered(tail, 30);
+    tail.createdAt = 20;
+    tail.hops = 2;
+    stats.packetDelivered(tail, 30);
+    EXPECT_EQ(stats.packetsDelivered(), 2u);
+    EXPECT_NEAR(stats.avgPacketLatency(), 15.0, 1e-9);
+    EXPECT_NEAR(stats.avgHops(), 3.0, 1e-9);
+}
+
+TEST(NetworkStats, WarmupExcludesEarlyPackets)
+{
+    NetworkStats stats(1, 1000);
+    Flit tail;
+    tail.type = FlitType::kHeadTail;
+    tail.length = 1;
+    tail.createdAt = 10;  // before warmup
+    stats.packetDelivered(tail, 50);
+    EXPECT_EQ(stats.packetsDelivered(), 1u);
+    EXPECT_EQ(stats.avgPacketLatency(), 0.0);  // not measured
+
+    tail.createdAt = 2000;
+    stats.packetDelivered(tail, 2040);
+    EXPECT_NEAR(stats.avgPacketLatency(), 40.0, 1e-9);
+}
+
+TEST(NetworkStats, TotalsAggregate)
+{
+    NetworkStats stats(3, 0);
+    stats.router(0).bufferWrites = 5;
+    stats.router(1).bufferWrites = 7;
+    stats.router(2).wakeups = 2;
+    ActivityCounters t = stats.totals();
+    EXPECT_EQ(t.bufferWrites, 12u);
+    EXPECT_EQ(t.wakeups, 2u);
+    EXPECT_EQ(stats.totalWakeups(), 2u);
+}
+
+TEST(NetworkStats, CombinedIdleHistogram)
+{
+    NetworkStats stats(2, 0);
+    stats.routerIdleSample(0, true, 0);
+    stats.routerIdleSample(0, false, 1);
+    stats.routerIdleSample(1, true, 0);
+    stats.routerIdleSample(1, true, 1);
+    stats.routerIdleSample(1, false, 2);
+    stats.finalize(3);
+    IdlePeriodHistogram combined = stats.combinedIdleHistogram();
+    EXPECT_EQ(combined.count(), 2u);
+    EXPECT_EQ(combined.countAtOrBelow(1), 1u);
+    EXPECT_EQ(combined.countAtOrBelow(2), 2u);
+}
+
+}  // namespace
+}  // namespace nord

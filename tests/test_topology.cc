@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unit tests for the mesh topology and Bypass Ring construction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topology/bypass_ring.hh"
+#include "topology/mesh.hh"
+
+namespace nord {
+namespace {
+
+TEST(MeshTopology, Dimensions)
+{
+    MeshTopology mesh(4, 4);
+    EXPECT_EQ(mesh.rows(), 4);
+    EXPECT_EQ(mesh.cols(), 4);
+    EXPECT_EQ(mesh.numNodes(), 16);
+    EXPECT_EQ(mesh.nodeAt(1, 2), 6);
+    EXPECT_EQ(mesh.rowOf(6), 1);
+    EXPECT_EQ(mesh.colOf(6), 2);
+}
+
+TEST(MeshTopology, Neighbors)
+{
+    MeshTopology mesh(4, 4);
+    EXPECT_EQ(mesh.neighbor(5, Direction::kNorth), 1);
+    EXPECT_EQ(mesh.neighbor(5, Direction::kSouth), 9);
+    EXPECT_EQ(mesh.neighbor(5, Direction::kEast), 6);
+    EXPECT_EQ(mesh.neighbor(5, Direction::kWest), 4);
+    EXPECT_EQ(mesh.neighbor(0, Direction::kNorth), kInvalidNode);
+    EXPECT_EQ(mesh.neighbor(0, Direction::kWest), kInvalidNode);
+    EXPECT_EQ(mesh.neighbor(15, Direction::kSouth), kInvalidNode);
+    EXPECT_EQ(mesh.neighbor(15, Direction::kEast), kInvalidNode);
+}
+
+TEST(MeshTopology, DirectionRoundTrip)
+{
+    MeshTopology mesh(4, 6);
+    for (NodeId n = 0; n < mesh.numNodes(); ++n) {
+        for (int d = 0; d < kNumMeshDirs; ++d) {
+            NodeId nb = mesh.neighbor(n, indexDir(d));
+            if (nb == kInvalidNode)
+                continue;
+            EXPECT_EQ(mesh.directionTo(n, nb), indexDir(d));
+            EXPECT_EQ(mesh.neighbor(nb, opposite(indexDir(d))), n);
+            EXPECT_TRUE(mesh.adjacent(n, nb));
+        }
+    }
+}
+
+TEST(MeshTopology, Manhattan)
+{
+    MeshTopology mesh(4, 4);
+    EXPECT_EQ(mesh.manhattan(0, 15), 6);
+    EXPECT_EQ(mesh.manhattan(0, 0), 0);
+    EXPECT_EQ(mesh.manhattan(3, 12), 6);
+    EXPECT_EQ(mesh.manhattan(5, 6), 1);
+}
+
+TEST(MeshTopology, MinimalDirections)
+{
+    MeshTopology mesh(4, 4);
+    auto dirs = mesh.minimalDirections(0, 15);
+    EXPECT_EQ(dirs.size(), 2u);
+    dirs = mesh.minimalDirections(5, 1);
+    ASSERT_EQ(dirs.size(), 1u);
+    EXPECT_EQ(dirs[0], Direction::kNorth);
+    EXPECT_TRUE(mesh.minimalDirections(7, 7).empty());
+}
+
+TEST(MeshTopology, XyDirection)
+{
+    MeshTopology mesh(4, 4);
+    // XY: X (columns) first.
+    EXPECT_EQ(mesh.xyDirection(0, 15), Direction::kEast);
+    EXPECT_EQ(mesh.xyDirection(3, 15), Direction::kSouth);
+    EXPECT_EQ(mesh.xyDirection(7, 7), Direction::kLocal);
+}
+
+class BypassRingTest : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(BypassRingTest, IsHamiltonianCycle)
+{
+    auto [rows, cols] = GetParam();
+    MeshTopology mesh(rows, cols);
+    BypassRing ring(mesh);
+
+    std::set<NodeId> visited;
+    NodeId n = 0;
+    for (int i = 0; i < mesh.numNodes(); ++i) {
+        EXPECT_TRUE(visited.insert(n).second) << "revisited node " << n;
+        NodeId next = ring.successor(n);
+        EXPECT_TRUE(mesh.adjacent(n, next))
+            << n << " -> " << next << " is not a mesh link";
+        EXPECT_EQ(ring.predecessor(next), n);
+        n = next;
+    }
+    EXPECT_EQ(n, 0) << "ring did not close";
+    EXPECT_EQ(visited.size(), static_cast<size_t>(mesh.numNodes()));
+}
+
+TEST_P(BypassRingTest, PortsMatchRingEdges)
+{
+    auto [rows, cols] = GetParam();
+    MeshTopology mesh(rows, cols);
+    BypassRing ring(mesh);
+    for (NodeId n = 0; n < mesh.numNodes(); ++n) {
+        EXPECT_EQ(mesh.neighbor(n, ring.bypassOutport(n)),
+                  ring.successor(n));
+        // The Bypass Inport faces the predecessor.
+        EXPECT_EQ(mesh.neighbor(n, ring.bypassInport(n)),
+                  ring.predecessor(n));
+    }
+}
+
+TEST_P(BypassRingTest, RingDistances)
+{
+    auto [rows, cols] = GetParam();
+    MeshTopology mesh(rows, cols);
+    BypassRing ring(mesh);
+    const int n = mesh.numNodes();
+    for (NodeId a = 0; a < n; ++a) {
+        EXPECT_EQ(ring.ringDistance(a, a), 0);
+        EXPECT_EQ(ring.ringDistance(a, ring.successor(a)), 1);
+        EXPECT_EQ(ring.ringDistance(ring.successor(a), a), n - 1);
+    }
+}
+
+TEST_P(BypassRingTest, ExactlyOneDateline)
+{
+    auto [rows, cols] = GetParam();
+    MeshTopology mesh(rows, cols);
+    BypassRing ring(mesh);
+    int datelines = 0;
+    for (NodeId v = 0; v < mesh.numNodes(); ++v)
+        datelines += ring.crossesDateline(v) ? 1 : 0;
+    EXPECT_EQ(datelines, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BypassRingTest,
+    ::testing::Values(std::pair{4, 4}, std::pair{8, 8}, std::pair{4, 6},
+                      std::pair{6, 4}, std::pair{2, 2}, std::pair{2, 8},
+                      std::pair{8, 2}, std::pair{4, 2}, std::pair{6, 6}));
+
+TEST(BypassRing, CanonicalOrder4x4)
+{
+    MeshTopology mesh(4, 4);
+    BypassRing ring(mesh);
+    // Row 0 east, serpentine rows 1..3 over cols 1..3, north up col 0.
+    const std::vector<NodeId> expect = {0, 1, 2, 3, 7, 6, 5, 9, 10, 11,
+                                        15, 14, 13, 12, 8, 4};
+    EXPECT_EQ(ring.order(), expect);
+}
+
+TEST(BypassRing, RejectsNonCycleOrder)
+{
+    MeshTopology mesh(2, 2);
+    // 0-3 are not adjacent: invalid ring.
+    EXPECT_EXIT(
+        { BypassRing bad(mesh, {0, 3, 1, 2}); },
+        ::testing::ExitedWithCode(1), "");
+}
+
+}  // namespace
+}  // namespace nord
