@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nord.dir/ablation_nord.cpp.o"
+  "CMakeFiles/ablation_nord.dir/ablation_nord.cpp.o.d"
+  "ablation_nord"
+  "ablation_nord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

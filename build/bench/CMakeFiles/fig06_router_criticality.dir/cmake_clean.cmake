@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_router_criticality.dir/fig06_router_criticality.cpp.o"
+  "CMakeFiles/fig06_router_criticality.dir/fig06_router_criticality.cpp.o.d"
+  "fig06_router_criticality"
+  "fig06_router_criticality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_router_criticality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

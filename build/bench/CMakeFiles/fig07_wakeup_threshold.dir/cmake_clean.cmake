@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_wakeup_threshold.dir/fig07_wakeup_threshold.cpp.o"
+  "CMakeFiles/fig07_wakeup_threshold.dir/fig07_wakeup_threshold.cpp.o.d"
+  "fig07_wakeup_threshold"
+  "fig07_wakeup_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_wakeup_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_pg_overhead.dir/fig09_pg_overhead.cpp.o"
+  "CMakeFiles/fig09_pg_overhead.dir/fig09_pg_overhead.cpp.o.d"
+  "fig09_pg_overhead"
+  "fig09_pg_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_pg_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

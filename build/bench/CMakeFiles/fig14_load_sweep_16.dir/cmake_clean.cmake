@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_load_sweep_16.dir/fig14_load_sweep_16.cpp.o"
+  "CMakeFiles/fig14_load_sweep_16.dir/fig14_load_sweep_16.cpp.o.d"
+  "fig14_load_sweep_16"
+  "fig14_load_sweep_16.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_load_sweep_16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_load_sweep_64.dir/fig15_load_sweep_64.cpp.o"
+  "CMakeFiles/fig15_load_sweep_64.dir/fig15_load_sweep_64.cpp.o.d"
+  "fig15_load_sweep_64"
+  "fig15_load_sweep_64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_load_sweep_64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

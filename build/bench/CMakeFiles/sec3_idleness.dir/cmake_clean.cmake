@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec3_idleness.dir/sec3_idleness.cpp.o"
+  "CMakeFiles/sec3_idleness.dir/sec3_idleness.cpp.o.d"
+  "sec3_idleness"
+  "sec3_idleness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec3_idleness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

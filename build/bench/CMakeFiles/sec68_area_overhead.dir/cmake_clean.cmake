@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec68_area_overhead.dir/sec68_area_overhead.cpp.o"
+  "CMakeFiles/sec68_area_overhead.dir/sec68_area_overhead.cpp.o.d"
+  "sec68_area_overhead"
+  "sec68_area_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec68_area_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_stall.dir/inspect_stall.cpp.o"
+  "CMakeFiles/inspect_stall.dir/inspect_stall.cpp.o.d"
+  "inspect_stall"
+  "inspect_stall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_stall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsec_campaign.dir/parsec_campaign.cpp.o"
+  "CMakeFiles/parsec_campaign.dir/parsec_campaign.cpp.o.d"
+  "parsec_campaign"
+  "parsec_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsec_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_explorer.dir/ring_explorer.cpp.o"
+  "CMakeFiles/ring_explorer.dir/ring_explorer.cpp.o.d"
+  "ring_explorer"
+  "ring_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/nord.dir/common/log.cc.o" "gcc" "src/CMakeFiles/nord.dir/common/log.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/nord.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/nord.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/trace.cc" "src/CMakeFiles/nord.dir/common/trace.cc.o" "gcc" "src/CMakeFiles/nord.dir/common/trace.cc.o.d"
+  "/root/repo/src/common/types.cc" "src/CMakeFiles/nord.dir/common/types.cc.o" "gcc" "src/CMakeFiles/nord.dir/common/types.cc.o.d"
+  "/root/repo/src/core/nord_controller.cc" "src/CMakeFiles/nord.dir/core/nord_controller.cc.o" "gcc" "src/CMakeFiles/nord.dir/core/nord_controller.cc.o.d"
+  "/root/repo/src/network/link.cc" "src/CMakeFiles/nord.dir/network/link.cc.o" "gcc" "src/CMakeFiles/nord.dir/network/link.cc.o.d"
+  "/root/repo/src/network/noc_config.cc" "src/CMakeFiles/nord.dir/network/noc_config.cc.o" "gcc" "src/CMakeFiles/nord.dir/network/noc_config.cc.o.d"
+  "/root/repo/src/network/noc_system.cc" "src/CMakeFiles/nord.dir/network/noc_system.cc.o" "gcc" "src/CMakeFiles/nord.dir/network/noc_system.cc.o.d"
+  "/root/repo/src/ni/network_interface.cc" "src/CMakeFiles/nord.dir/ni/network_interface.cc.o" "gcc" "src/CMakeFiles/nord.dir/ni/network_interface.cc.o.d"
+  "/root/repo/src/power/area_model.cc" "src/CMakeFiles/nord.dir/power/area_model.cc.o" "gcc" "src/CMakeFiles/nord.dir/power/area_model.cc.o.d"
+  "/root/repo/src/power/power_model.cc" "src/CMakeFiles/nord.dir/power/power_model.cc.o" "gcc" "src/CMakeFiles/nord.dir/power/power_model.cc.o.d"
+  "/root/repo/src/power/tech_params.cc" "src/CMakeFiles/nord.dir/power/tech_params.cc.o" "gcc" "src/CMakeFiles/nord.dir/power/tech_params.cc.o.d"
+  "/root/repo/src/powergate/pg_controller.cc" "src/CMakeFiles/nord.dir/powergate/pg_controller.cc.o" "gcc" "src/CMakeFiles/nord.dir/powergate/pg_controller.cc.o.d"
+  "/root/repo/src/router/router.cc" "src/CMakeFiles/nord.dir/router/router.cc.o" "gcc" "src/CMakeFiles/nord.dir/router/router.cc.o.d"
+  "/root/repo/src/routing/routing_policy.cc" "src/CMakeFiles/nord.dir/routing/routing_policy.cc.o" "gcc" "src/CMakeFiles/nord.dir/routing/routing_policy.cc.o.d"
+  "/root/repo/src/sim/kernel.cc" "src/CMakeFiles/nord.dir/sim/kernel.cc.o" "gcc" "src/CMakeFiles/nord.dir/sim/kernel.cc.o.d"
+  "/root/repo/src/stats/network_stats.cc" "src/CMakeFiles/nord.dir/stats/network_stats.cc.o" "gcc" "src/CMakeFiles/nord.dir/stats/network_stats.cc.o.d"
+  "/root/repo/src/topology/bypass_ring.cc" "src/CMakeFiles/nord.dir/topology/bypass_ring.cc.o" "gcc" "src/CMakeFiles/nord.dir/topology/bypass_ring.cc.o.d"
+  "/root/repo/src/topology/criticality.cc" "src/CMakeFiles/nord.dir/topology/criticality.cc.o" "gcc" "src/CMakeFiles/nord.dir/topology/criticality.cc.o.d"
+  "/root/repo/src/topology/mesh.cc" "src/CMakeFiles/nord.dir/topology/mesh.cc.o" "gcc" "src/CMakeFiles/nord.dir/topology/mesh.cc.o.d"
+  "/root/repo/src/traffic/parsec_workload.cc" "src/CMakeFiles/nord.dir/traffic/parsec_workload.cc.o" "gcc" "src/CMakeFiles/nord.dir/traffic/parsec_workload.cc.o.d"
+  "/root/repo/src/traffic/synthetic_traffic.cc" "src/CMakeFiles/nord.dir/traffic/synthetic_traffic.cc.o" "gcc" "src/CMakeFiles/nord.dir/traffic/synthetic_traffic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+src/CMakeFiles/nord.dir/power/tech_params.cc.o: \
+ /root/repo/src/power/tech_params.cc /usr/include/stdc-predef.h \
+ /root/repo/src/power/tech_params.hh

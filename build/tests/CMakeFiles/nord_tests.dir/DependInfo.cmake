@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_deadlock.cc" "tests/CMakeFiles/nord_tests.dir/test_deadlock.cc.o" "gcc" "tests/CMakeFiles/nord_tests.dir/test_deadlock.cc.o.d"
+  "/root/repo/tests/test_kernel.cc" "tests/CMakeFiles/nord_tests.dir/test_kernel.cc.o" "gcc" "tests/CMakeFiles/nord_tests.dir/test_kernel.cc.o.d"
+  "/root/repo/tests/test_link.cc" "tests/CMakeFiles/nord_tests.dir/test_link.cc.o" "gcc" "tests/CMakeFiles/nord_tests.dir/test_link.cc.o.d"
+  "/root/repo/tests/test_network_basic.cc" "tests/CMakeFiles/nord_tests.dir/test_network_basic.cc.o" "gcc" "tests/CMakeFiles/nord_tests.dir/test_network_basic.cc.o.d"
+  "/root/repo/tests/test_ni.cc" "tests/CMakeFiles/nord_tests.dir/test_ni.cc.o" "gcc" "tests/CMakeFiles/nord_tests.dir/test_ni.cc.o.d"
+  "/root/repo/tests/test_nord.cc" "tests/CMakeFiles/nord_tests.dir/test_nord.cc.o" "gcc" "tests/CMakeFiles/nord_tests.dir/test_nord.cc.o.d"
+  "/root/repo/tests/test_parsec.cc" "tests/CMakeFiles/nord_tests.dir/test_parsec.cc.o" "gcc" "tests/CMakeFiles/nord_tests.dir/test_parsec.cc.o.d"
+  "/root/repo/tests/test_power_gating.cc" "tests/CMakeFiles/nord_tests.dir/test_power_gating.cc.o" "gcc" "tests/CMakeFiles/nord_tests.dir/test_power_gating.cc.o.d"
+  "/root/repo/tests/test_power_model.cc" "tests/CMakeFiles/nord_tests.dir/test_power_model.cc.o" "gcc" "tests/CMakeFiles/nord_tests.dir/test_power_model.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/nord_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/nord_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_routing.cc" "tests/CMakeFiles/nord_tests.dir/test_routing.cc.o" "gcc" "tests/CMakeFiles/nord_tests.dir/test_routing.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/nord_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/nord_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_topology.cc" "tests/CMakeFiles/nord_tests.dir/test_topology.cc.o" "gcc" "tests/CMakeFiles/nord_tests.dir/test_topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nord.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nord_tests.dir/test_deadlock.cc.o"
+  "CMakeFiles/nord_tests.dir/test_deadlock.cc.o.d"
+  "CMakeFiles/nord_tests.dir/test_kernel.cc.o"
+  "CMakeFiles/nord_tests.dir/test_kernel.cc.o.d"
+  "CMakeFiles/nord_tests.dir/test_link.cc.o"
+  "CMakeFiles/nord_tests.dir/test_link.cc.o.d"
+  "CMakeFiles/nord_tests.dir/test_network_basic.cc.o"
+  "CMakeFiles/nord_tests.dir/test_network_basic.cc.o.d"
+  "CMakeFiles/nord_tests.dir/test_ni.cc.o"
+  "CMakeFiles/nord_tests.dir/test_ni.cc.o.d"
+  "CMakeFiles/nord_tests.dir/test_nord.cc.o"
+  "CMakeFiles/nord_tests.dir/test_nord.cc.o.d"
+  "CMakeFiles/nord_tests.dir/test_parsec.cc.o"
+  "CMakeFiles/nord_tests.dir/test_parsec.cc.o.d"
+  "CMakeFiles/nord_tests.dir/test_power_gating.cc.o"
+  "CMakeFiles/nord_tests.dir/test_power_gating.cc.o.d"
+  "CMakeFiles/nord_tests.dir/test_power_model.cc.o"
+  "CMakeFiles/nord_tests.dir/test_power_model.cc.o.d"
+  "CMakeFiles/nord_tests.dir/test_rng.cc.o"
+  "CMakeFiles/nord_tests.dir/test_rng.cc.o.d"
+  "CMakeFiles/nord_tests.dir/test_routing.cc.o"
+  "CMakeFiles/nord_tests.dir/test_routing.cc.o.d"
+  "CMakeFiles/nord_tests.dir/test_stats.cc.o"
+  "CMakeFiles/nord_tests.dir/test_stats.cc.o.d"
+  "CMakeFiles/nord_tests.dir/test_topology.cc.o"
+  "CMakeFiles/nord_tests.dir/test_topology.cc.o.d"
+  "nord_tests"
+  "nord_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nord_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
