@@ -51,7 +51,11 @@ std::string formatString(const char *fmt, ...)
 #define NORD_INFORM(...) \
     ::nord::detail::informImpl(::nord::detail::formatString(__VA_ARGS__))
 
-/** Assert an invariant, with formatted context on failure. */
+/**
+ * Assert an invariant, with formatted context on failure. Always on, in
+ * every build type: use it for protocol-level properties whose violation
+ * must never go unnoticed (flow-control overflow, power-gating safety).
+ */
 #define NORD_ASSERT(cond, ...) \
     do { \
         if (!(cond)) { \
@@ -59,6 +63,24 @@ std::string formatString(const char *fmt, ...)
                 ::nord::detail::formatString(__VA_ARGS__).c_str()); \
         } \
     } while (0)
+
+/**
+ * Debug-only assertion tier for dense hot-loop checks (per-flit bounds,
+ * redundant state checks already covered by the InvariantAuditor). Compiles
+ * to nothing under NDEBUG (Release) while still type-checking both the
+ * condition and the message arguments.
+ */
+#ifdef NDEBUG
+#define NORD_DCHECK(cond, ...) \
+    do { \
+        if (false && !(cond)) { \
+            NORD_PANIC("dcheck '%s' failed: %s", #cond, \
+                ::nord::detail::formatString(__VA_ARGS__).c_str()); \
+        } \
+    } while (0)
+#else
+#define NORD_DCHECK(cond, ...) NORD_ASSERT(cond, __VA_ARGS__)
+#endif
 
 }  // namespace nord
 

@@ -37,6 +37,33 @@ FlitLink::tick(Cycle now)
     }
 }
 
+int
+FlitLink::inFlightForVc(VcId vc) const
+{
+    int count = 0;
+    for (const Entry &e : queue_) {
+        if (e.flit.vc == vc)
+            ++count;
+    }
+    return count;
+}
+
+void
+FlitLink::forEachInFlight(const std::function<void(const Flit &)> &fn) const
+{
+    for (const Entry &e : queue_)
+        fn(e.flit);
+}
+
+bool
+FlitLink::injectFlitDrop()
+{
+    if (queue_.empty())
+        return false;
+    queue_.pop_front();
+    return true;
+}
+
 std::string
 FlitLink::name() const
 {
@@ -64,6 +91,17 @@ CreditLink::tick(Cycle now)
         dst_->acceptCredit(outPort_, queue_.front().vc, now);
         queue_.pop_front();
     }
+}
+
+int
+CreditLink::inFlightForVc(VcId vc) const
+{
+    int count = 0;
+    for (const Entry &e : queue_) {
+        if (e.vc == vc)
+            ++count;
+    }
+    return count;
 }
 
 std::string

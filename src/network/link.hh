@@ -13,6 +13,7 @@
 #define NORD_NETWORK_LINK_HH
 
 #include <deque>
+#include <functional>
 #include <string>
 
 #include "common/flit.hh"
@@ -51,6 +52,25 @@ class FlitLink : public Clocked
     /** Total flit traversals since construction (for link energy). */
     std::uint64_t traversals() const { return traversals_; }
 
+    // --- Introspection (InvariantAuditor) ---------------------------------
+    /** Downstream router this link feeds. */
+    const Router *dst() const { return dst_; }
+
+    /** Input port of the downstream router this link feeds. */
+    Direction inPort() const { return inPort_; }
+
+    /** Number of in-flight flits currently travelling on VC @p vc. */
+    int inFlightForVc(VcId vc) const;
+
+    /** Visit every in-flight flit (oldest first). */
+    void forEachInFlight(const std::function<void(const Flit &)> &fn) const;
+
+    /**
+     * Fault injection (testing only): silently drop the oldest in-flight
+     * flit, as a buggy link or router would. Returns false when empty.
+     */
+    bool injectFlitDrop();
+
     std::string name() const override;
 
   private:
@@ -87,6 +107,16 @@ class CreditLink : public Clocked
 
     /** True when no credit is in flight. */
     bool empty() const { return queue_.empty(); }
+
+    // --- Introspection (InvariantAuditor) ---------------------------------
+    /** Upstream router receiving these credits. */
+    const Router *dst() const { return dst_; }
+
+    /** Output port of the upstream router the credits replenish. */
+    Direction outPort() const { return outPort_; }
+
+    /** Number of in-flight credits for VC @p vc. */
+    int inFlightForVc(VcId vc) const;
 
     std::string name() const override;
 

@@ -34,6 +34,12 @@ NocConfig::validate() const
         NORD_FATAL("wakeup thresholds must be >= 1");
     if (nordMisrouteCap < 0)
         NORD_FATAL("nordMisrouteCap must be >= 0");
+    if (verify.interval > 0) {
+        if (verify.stallThreshold < 1)
+            NORD_FATAL("verify.stallThreshold must be >= 1");
+        if (verify.maxFlitAge < 1)
+            NORD_FATAL("verify.maxFlitAge must be >= 1");
+    }
 }
 
 }  // namespace nord

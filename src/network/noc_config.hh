@@ -18,6 +18,47 @@
 namespace nord {
 
 /**
+ * Runtime invariant-audit settings (see src/verify/).
+ *
+ * The InvariantAuditor sweeps the whole network checking flit/credit
+ * conservation, VC state-machine legality, power-gating handshake safety
+ * and liveness. It is off by default (interval = 0) so benches pay only a
+ * single branch per cycle; tests enable it with interval = 1.
+ */
+struct VerifyConfig
+{
+    /**
+     * Sweep period in cycles; 0 disables the auditor entirely. With the
+     * auditor enabled the liveness watchdog runs every cycle regardless of
+     * the sweep period.
+     */
+    Cycle interval = 0;
+
+    /** Also sweep immediately on every router power-state transition. */
+    bool sweepOnTransition = true;
+
+    /**
+     * Abort (dump state + panic) on the first kernel-driven sweep that
+     * finds a violation. When false, violations only accumulate for
+     * inspection (fault-injection tests).
+     */
+    bool abortOnViolation = true;
+
+    /**
+     * Liveness watchdog: cycles without any network-wide forward progress
+     * (while flits are in flight) before declaring deadlock.
+     */
+    Cycle stallThreshold = 20000;
+
+    /**
+     * Liveness watchdog: maximum age (cycles since injection) of any
+     * in-network flit before declaring livelock. Catches packets that keep
+     * moving without delivering, e.g. lapping the bypass ring forever.
+     */
+    Cycle maxFlitAge = 50000;
+};
+
+/**
  * All tunables of one simulated network.
  *
  * Plain aggregate so experiments can brace-initialize or tweak fields
@@ -128,6 +169,9 @@ struct NocConfig
     std::uint64_t seed = 1;
     Cycle statsWarmup = 0;        ///< packets created before this are not
                                   ///< counted in latency statistics
+
+    // --- Verification ------------------------------------------------------
+    VerifyConfig verify;          ///< runtime invariant-audit settings
 
     // --- Derived helpers --------------------------------------------------
     int numNodes() const { return rows * cols; }

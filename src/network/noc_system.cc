@@ -81,6 +81,15 @@ NocSystem::NocSystem(const NocConfig &config)
     buildRouters();
     buildLinks();
     buildControllers();
+    auditor_ = std::make_unique<InvariantAuditor>(*this, config_.verify);
+    if (auditor_->enabled() && config_.verify.sweepOnTransition) {
+        for (auto &c : controllers_) {
+            c->setTransitionListener(
+                [this](Cycle now, PowerState from, PowerState to) {
+                    auditor_->onPowerTransition(now, from, to);
+                });
+        }
+    }
     registerAll();
 }
 
@@ -202,6 +211,9 @@ NocSystem::registerAll()
         kernel_.add(ni.get());
     for (auto &c : controllers_)
         kernel_.add(c.get());
+    // The auditor must run last so its end-of-cycle sweeps observe a fully
+    // settled network state.
+    kernel_.add(auditor_.get());
 }
 
 void

@@ -38,6 +38,7 @@
 #include "topology/criticality.hh"
 #include "topology/mesh.hh"
 #include "traffic/workload.hh"
+#include "verify/invariant_auditor.hh"
 
 namespace nord {
 
@@ -83,7 +84,17 @@ class NocSystem
     Router &router(NodeId id) { return *routers_[id]; }
     const Router &router(NodeId id) const { return *routers_[id]; }
     NetworkInterface &ni(NodeId id) { return *nis_[id]; }
+    const NetworkInterface &ni(NodeId id) const { return *nis_[id]; }
     PgController &controller(NodeId id) { return *controllers_[id]; }
+    const PgController &controller(NodeId id) const
+    {
+        return *controllers_[id];
+    }
+
+    /** Runtime invariant auditor (always constructed; enabled when
+     *  config.verify.interval > 0). */
+    InvariantAuditor &auditor() { return *auditor_; }
+    const InvariantAuditor &auditor() const { return *auditor_; }
 
     /** Performance-centric router set used for asymmetric thresholds. */
     const std::vector<NodeId> &perfCentricRouters() const
@@ -141,6 +152,7 @@ class NocSystem
     std::vector<std::unique_ptr<PgController>> controllers_;
     std::vector<std::unique_ptr<FlitLink>> flitLinks_;
     std::vector<std::unique_ptr<CreditLink>> creditLinks_;
+    std::unique_ptr<InvariantAuditor> auditor_;
     std::vector<NodeId> perfCentric_;
     WorkloadTicker ticker_;
     Workload *workload_ = nullptr;

@@ -68,13 +68,14 @@ void
 NetworkInterface::localCreditReturn(VcId vc)
 {
     ++localCredits_[vc];
-    NORD_ASSERT(localCredits_[vc] <= config_.bufferDepth,
+    NORD_DCHECK(localCredits_[vc] <= config_.bufferDepth,
                 "local credit overflow at NI %d vc %d", id_, vc);
 }
 
 void
 NetworkInterface::deliverFlit(const Flit &flit, Cycle now)
 {
+    stats_.flitEjected(now);
     if (flitIsTail(flit)) {
         ++packetsReceived_;
         stats_.packetDelivered(flit, now);
@@ -124,7 +125,7 @@ void
 NetworkInterface::bypassLatchWrite(const Flit &flit, Cycle now)
 {
     const int slot = flit.vc;
-    NORD_ASSERT(slot >= 0 && slot < config_.numVcs, "bad latch slot %d",
+    NORD_DCHECK(slot >= 0 && slot < config_.numVcs, "bad latch slot %d",
                 slot);
     // While the router is gated off the upstream credit of 1 bounds the
     // slot to a single flit. During the post-wakeup drain the upstream
@@ -168,6 +169,43 @@ NetworkInterface::bypassQuiescent() const
            !localBypassActive_;
 }
 
+int
+NetworkInterface::stage3CountForVc(VcId outVc) const
+{
+    int count = 0;
+    for (const StagedFlit &s : stage3_) {
+        if (s.outVc == outVc)
+            ++count;
+    }
+    return count;
+}
+
+bool
+NetworkInterface::holdsBypassOutVc(VcId outVc) const
+{
+    if (localBypassActive_ && localBypassVc_ == outVc)
+        return true;
+    for (const ForwardState &f : fwd_) {
+        if (f.active && !f.sink && f.outVc == outVc)
+            return true;
+    }
+    return stage3CountForVc(outVc) > 0;
+}
+
+void
+NetworkInterface::forEachPendingFlit(
+    const std::function<void(const Flit &)> &fn) const
+{
+    for (const auto &entry : ejectQ_)
+        fn(entry.first);
+    for (const auto &slot : latch_) {
+        for (const LatchEntry &e : slot)
+            fn(e.flit);
+    }
+    for (const StagedFlit &s : stage3_)
+        fn(s.flit);
+}
+
 bool
 NetworkInterface::stage3Pending(Cycle now) const
 {
@@ -197,7 +235,7 @@ NetworkInterface::serveLatchSlot(int slot, Cycle now)
     ForwardState &f = fwd_[slot];
 
     if (f.active) {
-        NORD_ASSERT(!flitIsHead(flit), "head flit on active bypass flow");
+        NORD_DCHECK(!flitIsHead(flit), "head flit on active bypass flow");
         if (f.sink) {
             flit.hops = static_cast<std::int16_t>(flit.hops + 1);
             deliverFlit(flit, now);
@@ -227,7 +265,7 @@ NetworkInterface::serveLatchSlot(int slot, Cycle now)
         return true;
     }
 
-    NORD_ASSERT(flitIsHead(flit), "body flit without bypass flow state");
+    NORD_DCHECK(flitIsHead(flit), "body flit without bypass flow state");
     if (flit.dst == id_) {
         // Demux ahead of the ejection queue: sink locally (Figure 4c).
         flit.hops = static_cast<std::int16_t>(flit.hops + 1);
@@ -304,7 +342,7 @@ NetworkInterface::serveLocalBypass(Cycle now)
 
     if (localBypassActive_) {
         Flit flit = injectQ_.front();
-        NORD_ASSERT(!flitIsHead(flit), "head while local bypass active");
+        NORD_DCHECK(!flitIsHead(flit), "head while local bypass active");
         if (!router_->bypassCreditAvailable(localBypassVc_))
             return false;
         router_->bypassReserveCredit(localBypassVc_);
@@ -322,7 +360,7 @@ NetworkInterface::serveLocalBypass(Cycle now)
         return false;  // use the normal injection path
 
     Flit flit = injectQ_.front();
-    NORD_ASSERT(flitIsHead(flit), "mid-packet at bypass injection");
+    NORD_DCHECK(flitIsHead(flit), "mid-packet at bypass injection");
     if (flit.dst == id_) {
         // Self-addressed packet: loop straight back to the node.
         while (!injectQ_.empty()) {
@@ -456,7 +494,7 @@ NetworkInterface::normalInjection(Cycle now)
     }
 
     if (injectVc_ == kInvalidVc) {
-        NORD_ASSERT(flitIsHead(flit), "mid-packet without an inject VC");
+        NORD_DCHECK(flitIsHead(flit), "mid-packet without an inject VC");
         const VcId first = config_.firstVcOf(VcClass::kAdaptive);
         for (VcId v = first; v < config_.numVcs; ++v) {
             if (localCredits_[v] > 0 && router_->localVcIdle(v)) {

@@ -122,6 +122,37 @@ class NetworkInterface : public Clocked
     /** Packets whose tail reached this node (convenience for tests). */
     std::uint64_t packetsReceived() const { return packetsReceived_; }
 
+    // --- Introspection (InvariantAuditor; cheap, non-intrusive) -----------
+    /** Flits ejected from the router but not yet delivered to the node. */
+    size_t ejectQueueDepth() const { return ejectQ_.size(); }
+
+    /** Total flits held in the bypass latch (all slots). */
+    int latchOccupancy() const { return latchOccupancy_; }
+
+    /** Flits held in bypass latch slot @p slot. */
+    size_t latchSlotDepth(VcId slot) const { return latch_[slot].size(); }
+
+    /** Flits staged for bypass re-injection (stage 3). */
+    size_t stage3Depth() const { return stage3_.size(); }
+
+    /** Staged bypass flits whose reserved output VC is @p outVc. */
+    int stage3CountForVc(VcId outVc) const;
+
+    /** Credits this NI holds for VC @p vc of the router's local port. */
+    int localCredit(VcId vc) const { return localCredits_[vc]; }
+
+    /**
+     * True when the bypass datapath holds output VC @p outVc of the
+     * router's Bypass Outport (mid-packet forward, local bypass packet,
+     * or a staged flit that reserved it).
+     */
+    bool holdsBypassOutVc(VcId outVc) const;
+
+    /** Visit every in-NI flit that counts as in-network (ejection queue,
+     *  bypass latch, stage 3) for conservation and age sweeps. */
+    void forEachPendingFlit(
+        const std::function<void(const Flit &)> &fn) const;
+
     /** Dump bypass/injection state to @p out (diagnostics). */
     void dumpState(std::FILE *out) const;
 

@@ -38,6 +38,13 @@ PgController::sleepAllowed(Cycle now) const
 }
 
 void
+PgController::notifyTransition(Cycle now, PowerState from, PowerState to)
+{
+    if (listener_)
+        listener_(now, from, to);
+}
+
+void
 PgController::beginSleep(Cycle now)
 {
     NORD_ASSERT(state_ == PowerState::kOn, "sleep from state %s",
@@ -45,6 +52,7 @@ PgController::beginSleep(Cycle now)
     state_ = PowerState::kOff;
     ++counters_.sleeps;
     router_.onSleep(now);
+    notifyTransition(now, PowerState::kOn, PowerState::kOff);
 }
 
 void
@@ -55,6 +63,7 @@ PgController::beginWakeup(Cycle now)
     state_ = PowerState::kWakingUp;
     wakeDone_ = now + config_.wakeupLatency;
     ++counters_.wakeups;
+    notifyTransition(now, PowerState::kOff, PowerState::kWakingUp);
 }
 
 void
@@ -73,6 +82,7 @@ PgController::tick(Cycle now)
         state_ = PowerState::kOn;
         wakeDone_ = kNeverCycle;
         router_.onWake(now);
+        notifyTransition(now, PowerState::kWakingUp, PowerState::kOn);
     }
 
     policy(now);

@@ -13,7 +13,9 @@
 #ifndef NORD_POWERGATE_PG_CONTROLLER_HH
 #define NORD_POWERGATE_PG_CONTROLLER_HH
 
+#include <functional>
 #include <string>
+#include <utility>
 
 #include "common/types.hh"
 #include "network/noc_config.hh"
@@ -32,6 +34,13 @@ struct ActivityCounters;
 class PgController : public Clocked
 {
   public:
+    /**
+     * Observer of power-state transitions (InvariantAuditor sweeps on
+     * every transition). Arguments: cycle, old state, new state.
+     */
+    using TransitionListener =
+        std::function<void(Cycle, PowerState, PowerState)>;
+
     PgController(Router &router, const NocConfig &config,
                  ActivityCounters &counters);
 
@@ -40,6 +49,21 @@ class PgController : public Clocked
 
     /** PG handshake signal: asserted whenever the router is not fully on. */
     bool pgAsserted() const { return state_ != PowerState::kOn; }
+
+    /** A wakeup request is latched but not yet served. */
+    bool wakeRequestPending() const { return wakeRequested_; }
+
+    /** Install the transition observer (one per controller). */
+    void setTransitionListener(TransitionListener listener)
+    {
+        listener_ = std::move(listener);
+    }
+
+    /**
+     * Fault injection (testing only): force the state to Off without the
+     * drain/handshake checks, as a buggy sleep policy would.
+     */
+    void injectForcedOff() { state_ = PowerState::kOff; }
 
     /**
      * Wakeup (WU) request from a neighbor's allocation stage or the local
@@ -68,11 +92,15 @@ class PgController : public Clocked
     /** De-assert the sleep signal: transition Off -> WakingUp. */
     void beginWakeup(Cycle now);
 
+    /** Notify the transition listener (if any). */
+    void notifyTransition(Cycle now, PowerState from, PowerState to);
+
     Router &router_;
     const NocConfig &config_;
     ActivityCounters &counters_;
 
     PowerState state_ = PowerState::kOn;
+    TransitionListener listener_;
     bool wakeRequested_ = false;
     Cycle wakeDone_ = kNeverCycle;   ///< cycle the Vdd ramp completes
     Cycle emptySince_ = 0;           ///< first cycle of the current empty run

@@ -69,7 +69,7 @@ Router::datapathEmpty() const
     for (const auto &ip : inputs_) {
         for (const auto &vc : ip.vcs) {
             if (!vc.buffer.empty() ||
-                vc.state != VirtualChannel::State::kIdle) {
+                vc.state != VcState::kIdle) {
                 return false;
             }
         }
@@ -120,6 +120,38 @@ Router::bufferedFlits() const
     return total;
 }
 
+Router::VcProbe
+Router::probeVc(Direction inPort, VcId vc) const
+{
+    const VirtualChannel &v = inputs_[dirIndex(inPort)].vcs[vc];
+    VcProbe probe;
+    probe.state = v.state;
+    probe.occupancy = static_cast<int>(v.buffer.size());
+    probe.outPort = v.outPort;
+    probe.outVc = v.outVc;
+    probe.sentAny = v.sentAny;
+    probe.frontIsHead = !v.buffer.empty() && flitIsHead(v.buffer.front());
+    return probe;
+}
+
+void
+Router::forEachBufferedFlit(
+    const std::function<void(Direction, VcId, const Flit &)> &fn) const
+{
+    for (int p = 0; p < kNumPorts; ++p) {
+        for (VcId v = 0; v < config_.numVcs; ++v) {
+            for (const Flit &f : inputs_[p].vcs[v].buffer)
+                fn(indexDir(p), v, f);
+        }
+    }
+}
+
+void
+Router::injectCreditLeak(Direction outPort, VcId vc)
+{
+    --outputs_[dirIndex(outPort)].credits[vc];
+}
+
 void
 Router::acceptFlit(Direction inPort, const Flit &flit, Cycle now)
 {
@@ -143,7 +175,7 @@ Router::acceptFlit(Direction inPort, const Flit &flit, Cycle now)
                 static_cast<int>(flit.type), flit.seq, flit.src, flit.dst,
                 flit.vc, dirName(inPort), powerStateName(powerState()));
     InputPort &ip = inputs_[dirIndex(inPort)];
-    NORD_ASSERT(flit.vc >= 0 && flit.vc < config_.numVcs, "bad vc %d",
+    NORD_DCHECK(flit.vc >= 0 && flit.vc < config_.numVcs, "bad vc %d",
                 flit.vc);
     VirtualChannel &vc = ip.vcs[flit.vc];
     NORD_ASSERT(static_cast<int>(vc.buffer.size()) < config_.bufferDepth,
@@ -158,7 +190,7 @@ Router::acceptCredit(Direction outPort, VcId vc, Cycle)
 {
     OutputPort &op = outputs_[dirIndex(outPort)];
     ++op.credits[vc];
-    NORD_ASSERT(op.credits[vc] <= config_.bufferDepth,
+    NORD_DCHECK(op.credits[vc] <= config_.bufferDepth,
                 "credit overflow at router %d port %s vc %d", id_,
                 dirName(outPort), vc);
 }
@@ -180,7 +212,7 @@ bool
 Router::localVcIdle(VcId vc) const
 {
     const auto &v = inputs_[dirIndex(Direction::kLocal)].vcs[vc];
-    return v.state == VirtualChannel::State::kIdle && v.buffer.empty();
+    return v.state == VcState::kIdle && v.buffer.empty();
 }
 
 void
@@ -247,13 +279,13 @@ Router::restartHeadsOn(Direction d)
 {
     for (auto &ip : inputs_) {
         for (auto &vc : ip.vcs) {
-            if (vc.state == VirtualChannel::State::kActive &&
+            if (vc.state == VcState::kActive &&
                 vc.outPort == d) {
                 NORD_ASSERT(!vc.sentAny,
                             "router %d: neighbor gated mid-packet", id_);
                 outputs_[dirIndex(d)].outVcBusy[vc.outVc] = false;
                 vc.outVc = kInvalidVc;
-                vc.state = VirtualChannel::State::kVcAlloc;
+                vc.state = VcState::kVcAlloc;
             }
         }
     }
@@ -321,7 +353,7 @@ Router::bypassReserveCredit(VcId outVc)
 {
     OutputPort &op = outputs_[dirIndex(ring_.bypassOutport(id_))];
     --op.credits[outVc];
-    NORD_ASSERT(op.credits[outVc] >= 0, "negative bypass credits at %d",
+    NORD_DCHECK(op.credits[outVc] >= 0, "negative bypass credits at %d",
                 id_);
 }
 
@@ -376,7 +408,7 @@ Router::tryAllocOutVc(VirtualChannel &vc, Direction outPort, VcClass cls,
             op.outVcBusy[v] = true;
             vc.outPort = outPort;
             vc.outVc = v;
-            vc.state = VirtualChannel::State::kActive;
+            vc.state = VcState::kActive;
             return true;
         }
     }
@@ -390,11 +422,11 @@ Router::vcAllocation(Cycle now)
         InputPort &ip = inputs_[p];
         const Direction inDir = indexDir(p);
         for (auto &vc : ip.vcs) {
-            if (vc.state != VirtualChannel::State::kVcAlloc ||
+            if (vc.state != VcState::kVcAlloc ||
                 vc.vaEarliest > now) {
                 continue;
             }
-            NORD_ASSERT(!vc.buffer.empty() && flitIsHead(vc.buffer.front()),
+            NORD_DCHECK(!vc.buffer.empty() && flitIsHead(vc.buffer.front()),
                         "VcAlloc state without a head flit at router %d",
                         id_);
             Flit &head = vc.buffer.front();
@@ -456,7 +488,7 @@ Router::switchAllocation(Cycle now)
         for (int k = 0; k < numVcs; ++k) {
             const int v = (ip.rrVc + k) % numVcs;
             VirtualChannel &vc = ip.vcs[v];
-            if (vc.state != VirtualChannel::State::kActive ||
+            if (vc.state != VcState::kActive ||
                 vc.buffer.empty() || vc.saEarliest > now) {
                 continue;
             }
@@ -486,7 +518,7 @@ Router::switchAllocation(Cycle now)
                     ++vc.saBlocked >= config_.escapeAfterBlockedCycles) {
                     outputs_[op].outVcBusy[vc.outVc] = false;
                     vc.outVc = kInvalidVc;
-                    vc.state = VirtualChannel::State::kVcAlloc;
+                    vc.state = VcState::kVcAlloc;
                     vc.vaEarliest = now + 1;
                     vc.blockedCycles = config_.escapeAfterBlockedCycles;
                     vc.saBlocked = 0;
@@ -553,7 +585,7 @@ Router::sendFlit(InputPort &ip, int ipIdx, VirtualChannel &vc, Cycle now)
         ni_->acceptEjection(flit, now + 3);
     } else {
         --op.credits[flit.vc];
-        NORD_ASSERT(op.credits[flit.vc] >= 0, "negative credits at %d",
+        NORD_DCHECK(op.credits[flit.vc] >= 0, "negative credits at %d",
                     id_);
         op.link->push(flit, now + 3);
         op.icUntil = std::max(op.icUntil, now + 3);
@@ -562,7 +594,7 @@ Router::sendFlit(InputPort &ip, int ipIdx, VirtualChannel &vc, Cycle now)
 
     if (flitIsTail(flit)) {
         op.outVcBusy[vc.outVc] = false;
-        vc.state = VirtualChannel::State::kIdle;
+        vc.state = VcState::kIdle;
         vc.outVc = kInvalidVc;
         vc.sentAny = false;
     } else {
@@ -577,13 +609,13 @@ Router::routeNewHeads(Cycle now)
     for (int p = 0; p < kNumPorts; ++p) {
         InputPort &ip = inputs_[p];
         for (auto &vc : ip.vcs) {
-            if (vc.state != VirtualChannel::State::kIdle ||
+            if (vc.state != VcState::kIdle ||
                 vc.buffer.empty()) {
                 continue;
             }
-            NORD_ASSERT(flitIsHead(vc.buffer.front()),
+            NORD_DCHECK(flitIsHead(vc.buffer.front()),
                         "non-head flit at idle VC of router %d", id_);
-            vc.state = VirtualChannel::State::kVcAlloc;
+            vc.state = VcState::kVcAlloc;
             vc.vaEarliest = now + 1;
             vc.blockedCycles = 0;
 
@@ -616,7 +648,7 @@ Router::dumpState(std::FILE *out) const
     for (int p = 0; p < kNumPorts; ++p) {
         for (int v = 0; v < config_.numVcs; ++v) {
             const VirtualChannel &vc = inputs_[p].vcs[v];
-            if (vc.state == VirtualChannel::State::kIdle &&
+            if (vc.state == VcState::kIdle &&
                 vc.buffer.empty()) {
                 continue;
             }
@@ -654,7 +686,7 @@ Router::checkQuiescent() const
         for (int v = 0; v < config_.numVcs; ++v) {
             const VirtualChannel &vc = inputs_[p].vcs[v];
             NORD_ASSERT(vc.buffer.empty() &&
-                            vc.state == VirtualChannel::State::kIdle,
+                            vc.state == VcState::kIdle,
                         "router %d port %s vc %d not idle after drain",
                         id_, dirName(indexDir(p)), v);
         }
@@ -693,7 +725,7 @@ Router::tick(Cycle now)
         vcAllocation(now);
         routeNewHeads(now);
     } else {
-        NORD_ASSERT(datapathEmpty(),
+        NORD_DCHECK(datapathEmpty(),
                     "router %d has buffered flits while %s", id_,
                     powerStateName(powerState()));
     }

@@ -26,6 +26,7 @@
 #include <array>
 #include <cstdio>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -51,6 +52,26 @@ class NetworkInterface;
 class Router : public Clocked
 {
   public:
+    /** Per-VC state machine phase (public for the InvariantAuditor). */
+    enum class VcState : std::int8_t
+    {
+        kIdle,     ///< no packet
+        kRouting,  ///< head buffered, RC this cycle
+        kVcAlloc,  ///< requesting an output VC
+        kActive,   ///< output VC held, flits stream through SA
+    };
+
+    /** Read-only snapshot of one input VC (introspection). */
+    struct VcProbe
+    {
+        VcState state = VcState::kIdle;
+        int occupancy = 0;            ///< buffered flits
+        Direction outPort = Direction::kLocal;
+        VcId outVc = kInvalidVc;
+        bool sentAny = false;         ///< a flit of the packet already left
+        bool frontIsHead = false;     ///< front buffered flit is a head
+    };
+
     Router(NodeId id, const NocConfig &config, const MeshTopology &mesh,
            const BypassRing &ring, NetworkStats &stats);
 
@@ -184,6 +205,50 @@ class Router : public Clocked
     /** Total buffered flits (diagnostics). */
     int bufferedFlits() const;
 
+    // --- Introspection (InvariantAuditor; cheap, non-intrusive) -----------
+    /** Snapshot of input VC @p vc on port @p inPort. */
+    VcProbe probeVc(Direction inPort, VcId vc) const;
+
+    /** Current credit count of (@p outPort, @p vc). */
+    int creditCount(Direction outPort, VcId vc) const
+    {
+        return outputs_[dirIndex(outPort)].credits[vc];
+    }
+
+    /** True when output VC (@p outPort, @p vc) is held by some packet. */
+    bool outVcBusy(Direction outPort, VcId vc) const
+    {
+        return outputs_[dirIndex(outPort)].outVcBusy[vc];
+    }
+
+    /** Outgoing flit link on @p d (null for local / mesh edge). */
+    const FlitLink *outputLink(Direction d) const
+    {
+        return outputs_[dirIndex(d)].link;
+    }
+
+    /** Downstream router on @p d (null for local / mesh edge). */
+    const Router *neighborRouter(Direction d) const
+    {
+        return outputs_[dirIndex(d)].neighbor;
+    }
+
+    /** Credit-return link of input @p inPort (null for the local port). */
+    const CreditLink *creditReturnLink(Direction inPort) const
+    {
+        return inputs_[dirIndex(inPort)].creditReturn;
+    }
+
+    /** Visit every flit buffered in this router's input VCs. */
+    void forEachBufferedFlit(
+        const std::function<void(Direction, VcId, const Flit &)> &fn) const;
+
+    /**
+     * Fault injection (testing only): silently lose one credit of
+     * (@p outPort, @p vc), as a buggy credit path would.
+     */
+    void injectCreditLeak(Direction outPort, VcId vc);
+
     /** Dump all non-idle pipeline state to @p out (diagnostics). */
     void dumpState(std::FILE *out) const;
 
@@ -200,14 +265,7 @@ class Router : public Clocked
     struct VirtualChannel
     {
         std::deque<Flit> buffer;
-        enum class State : std::int8_t
-        {
-            kIdle,     ///< no packet
-            kRouting,  ///< head buffered, RC this cycle
-            kVcAlloc,  ///< requesting an output VC
-            kActive,   ///< output VC held, flits stream through SA
-        };
-        State state = State::kIdle;
+        VcState state = VcState::kIdle;
         Direction outPort = Direction::kLocal;
         VcId outVc = kInvalidVc;
         Cycle vaEarliest = 0;    ///< earliest cycle VA may be attempted

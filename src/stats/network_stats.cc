@@ -89,6 +89,12 @@ NetworkStats::flitInjected(Cycle)
 }
 
 void
+NetworkStats::flitEjected(Cycle)
+{
+    ++flitsEjected_;
+}
+
+void
 NetworkStats::routerIdleSample(NodeId id, bool empty, Cycle now)
 {
     ActivityCounters &c = routers_[id];

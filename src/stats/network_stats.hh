@@ -106,6 +106,14 @@ class NetworkStats
     /** A flit entered the network fabric (left the NI). */
     void flitInjected(Cycle now);
 
+    /**
+     * A flit left the network fabric (delivered to its node, whether via
+     * the ejection queue or the NoRD bypass sink). Together with
+     * flitInjected() this gives the exact in-network flit population the
+     * InvariantAuditor checks conservation against.
+     */
+    void flitEjected(Cycle now);
+
     // --- Router activity ---------------------------------------------------
     ActivityCounters &router(NodeId id) { return routers_[id]; }
     const ActivityCounters &router(NodeId id) const { return routers_[id]; }
@@ -121,6 +129,7 @@ class NetworkStats
     std::uint64_t packetsDelivered() const { return packetsDelivered_; }
     std::uint64_t flitsInjected() const { return flitsInjected_; }
     std::uint64_t flitsDelivered() const { return flitsDelivered_; }
+    std::uint64_t flitsEjected() const { return flitsEjected_; }
 
     /** Mean packet latency in cycles (creation to tail ejection). */
     double avgPacketLatency() const;
@@ -158,6 +167,7 @@ class NetworkStats
     std::uint64_t packetsDelivered_ = 0;
     std::uint64_t flitsInjected_ = 0;
     std::uint64_t flitsDelivered_ = 0;
+    std::uint64_t flitsEjected_ = 0;
     std::uint64_t latencySum_ = 0;
     std::uint64_t hopSum_ = 0;
     std::uint64_t measuredPackets_ = 0;

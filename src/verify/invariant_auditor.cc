@@ -1,0 +1,572 @@
+/**
+ * @file
+ * Invariant auditor implementation.
+ */
+
+#include "verify/invariant_auditor.hh"
+
+#include <cstdio>
+
+#include "common/log.hh"
+#include "network/noc_system.hh"
+
+namespace nord {
+
+using detail::formatString;
+
+InvariantAuditor::InvariantAuditor(const NocSystem &sys,
+                                   const VerifyConfig &config)
+    : sys_(sys), config_(config)
+{
+}
+
+const char *
+InvariantAuditor::kindName(Kind k)
+{
+    switch (k) {
+      case Kind::kFlitConservation: return "flit-conservation";
+      case Kind::kCreditConservation: return "credit-conservation";
+      case Kind::kVcState: return "vc-state";
+      case Kind::kPgSafety: return "pg-safety";
+      case Kind::kLiveness: return "liveness";
+    }
+    return "unknown";
+}
+
+bool
+InvariantAuditor::hasViolation(Kind k) const
+{
+    for (const Violation &v : violations_) {
+        if (v.kind == k)
+            return true;
+    }
+    return false;
+}
+
+void
+InvariantAuditor::report(Kind kind, NodeId node, Cycle now,
+                         std::string diagnosis)
+{
+    violations_.push_back({kind, node, now, std::move(diagnosis)});
+}
+
+std::uint64_t
+InvariantAuditor::inNetworkFlits() const
+{
+    const NetworkStats &stats = sys_.stats();
+    return stats.flitsInjected() - stats.flitsEjected();
+}
+
+std::uint64_t
+InvariantAuditor::progressCounter() const
+{
+    const ActivityCounters totals = sys_.stats().totals();
+    return totals.linkTraversals + totals.bufferReads +
+           totals.bypassForwards + sys_.stats().flitsInjected() +
+           sys_.stats().flitsEjected();
+}
+
+// --- Invariant 1: flit conservation ---------------------------------------
+
+void
+InvariantAuditor::checkFlitConservation(Cycle now)
+{
+    const int n = sys_.config().numNodes();
+    std::uint64_t inBuffers = 0;
+    std::uint64_t inLinks = 0;
+    std::uint64_t inEjectQs = 0;
+    std::uint64_t inLatches = 0;
+    std::uint64_t inStage3 = 0;
+    for (NodeId id = 0; id < n; ++id) {
+        const Router &r = sys_.router(id);
+        const NetworkInterface &ni = sys_.ni(id);
+        inBuffers += static_cast<std::uint64_t>(r.bufferedFlits());
+        inEjectQs += ni.ejectQueueDepth();
+        inLatches += static_cast<std::uint64_t>(ni.latchOccupancy());
+        inStage3 += ni.stage3Depth();
+        for (int d = 0; d < kNumMeshDirs; ++d) {
+            const FlitLink *link = r.outputLink(indexDir(d));
+            if (link)
+                inLinks += link->inFlight();
+        }
+    }
+    const std::uint64_t counted =
+        inBuffers + inLinks + inEjectQs + inLatches + inStage3;
+    const std::uint64_t expected = inNetworkFlits();
+    if (counted != expected) {
+        report(Kind::kFlitConservation, kInvalidNode, now,
+               formatString(
+                   "flit conservation broken: %llu flits in network "
+                   "(injected %llu - ejected %llu) but %llu accounted for "
+                   "(buffers %llu, links %llu, eject queues %llu, bypass "
+                   "latches %llu, stage-3 %llu); %llu flit(s) %s",
+                   static_cast<unsigned long long>(expected),
+                   static_cast<unsigned long long>(
+                       sys_.stats().flitsInjected()),
+                   static_cast<unsigned long long>(
+                       sys_.stats().flitsEjected()),
+                   static_cast<unsigned long long>(counted),
+                   static_cast<unsigned long long>(inBuffers),
+                   static_cast<unsigned long long>(inLinks),
+                   static_cast<unsigned long long>(inEjectQs),
+                   static_cast<unsigned long long>(inLatches),
+                   static_cast<unsigned long long>(inStage3),
+                   static_cast<unsigned long long>(
+                       counted > expected ? counted - expected
+                                          : expected - counted),
+                   counted > expected ? "duplicated" : "lost"));
+    }
+}
+
+// --- Invariant 2: credit conservation -------------------------------------
+
+void
+InvariantAuditor::checkCreditConservation(Cycle now)
+{
+    const NocConfig &cfg = sys_.config();
+    const int n = cfg.numNodes();
+    const bool isNord = cfg.design == PgDesign::kNord;
+
+    for (NodeId id = 0; id < n; ++id) {
+        const Router &up = sys_.router(id);
+        const NetworkInterface &upNi = sys_.ni(id);
+
+        for (int d = 0; d < kNumMeshDirs; ++d) {
+            const Direction dir = indexDir(d);
+            const Router *down = up.neighborRouter(dir);
+            if (!down)
+                continue;
+            const FlitLink *flink = up.outputLink(dir);
+            const CreditLink *clink =
+                down->creditReturnLink(opposite(dir));
+            const bool ringEdge =
+                isNord && dir == sys_.ring().bypassOutport(id);
+            // Section 4.3 credit re-adjustment: while the upstream sees
+            // the ring successor as gated, its credit view shrinks to the
+            // single NI bypass latch slot per VC.
+            const int expected = ringEdge && up.outputGatedView(dir)
+                ? 1 : cfg.bufferDepth;
+            const NetworkInterface &downNi = sys_.ni(down->id());
+
+            for (VcId v = 0; v < cfg.numVcs; ++v) {
+                int sum = up.creditCount(dir, v);
+                if (clink)
+                    sum += clink->inFlightForVc(v);
+                sum += flink->inFlightForVc(v);
+                sum += down->probeVc(opposite(dir), v).occupancy;
+                if (ringEdge) {
+                    // Flits redirected into the successor's bypass latch,
+                    // plus flits staged in this NI that already reserved
+                    // a credit of this link but have not hit the wire.
+                    sum += static_cast<int>(downNi.latchSlotDepth(v));
+                    sum += upNi.stage3CountForVc(v);
+                }
+                if (sum != expected) {
+                    report(Kind::kCreditConservation, id, now,
+                           formatString(
+                               "credit conservation broken on link %d->%d "
+                               "(%s) vc %d: credits %d + in-flight credits "
+                               "%d + in-flight flits %d + downstream "
+                               "occupancy %d%s = %d, expected %d "
+                               "(gatedView=%d ringEdge=%d)",
+                               id, down->id(), dirName(dir), v,
+                               up.creditCount(dir, v),
+                               clink ? clink->inFlightForVc(v) : 0,
+                               flink->inFlightForVc(v),
+                               down->probeVc(opposite(dir), v).occupancy,
+                               ringEdge ? " + latch/stage3" : "",
+                               sum, expected,
+                               up.outputGatedView(dir) ? 1 : 0,
+                               ringEdge ? 1 : 0));
+                }
+            }
+        }
+
+        // Local injection port: the NI's credit counter plus the local
+        // input VC occupancy must equal the buffer depth (credit return
+        // is combinational, so no in-flight term).
+        for (VcId v = 0; v < cfg.numVcs; ++v) {
+            const int sum = upNi.localCredit(v) +
+                up.probeVc(Direction::kLocal, v).occupancy;
+            if (sum != cfg.bufferDepth) {
+                report(Kind::kCreditConservation, id, now,
+                       formatString(
+                           "local-port credit conservation broken at "
+                           "router %d vc %d: NI credits %d + local buffer "
+                           "occupancy %d != depth %d",
+                           id, v, upNi.localCredit(v),
+                           up.probeVc(Direction::kLocal, v).occupancy,
+                           cfg.bufferDepth));
+            }
+        }
+    }
+}
+
+// --- Invariant 3: VC state-machine legality --------------------------------
+
+void
+InvariantAuditor::checkVcStates(Cycle now)
+{
+    const NocConfig &cfg = sys_.config();
+    const int n = cfg.numNodes();
+    const bool isNord = cfg.design == PgDesign::kNord;
+
+    for (NodeId id = 0; id < n; ++id) {
+        const Router &r = sys_.router(id);
+
+        // holders[o][v]: active input VCs that claim output VC (o, v).
+        int holders[kNumPorts][64] = {};
+        NORD_ASSERT(cfg.numVcs <= 64, "too many VCs for the auditor");
+
+        for (int p = 0; p < kNumPorts; ++p) {
+            for (VcId v = 0; v < cfg.numVcs; ++v) {
+                const Router::VcProbe vc = r.probeVc(indexDir(p), v);
+                switch (vc.state) {
+                  case Router::VcState::kIdle:
+                    if (vc.outVc != kInvalidVc || vc.sentAny) {
+                        report(Kind::kVcState, id, now,
+                               formatString(
+                                   "router %d port %s vc %d idle but "
+                                   "outVc=%d sentAny=%d",
+                                   id, dirName(indexDir(p)), v, vc.outVc,
+                                   vc.sentAny ? 1 : 0));
+                    }
+                    // A freshly arrived packet may sit one cycle in an
+                    // idle VC before RC; its front flit must be a head.
+                    if (vc.occupancy > 0 && !vc.frontIsHead) {
+                        report(Kind::kVcState, id, now,
+                               formatString(
+                                   "router %d port %s vc %d idle with a "
+                                   "non-head flit buffered (orphaned "
+                                   "body/tail)",
+                                   id, dirName(indexDir(p)), v));
+                    }
+                    break;
+                  case Router::VcState::kRouting:
+                    report(Kind::kVcState, id, now,
+                           formatString(
+                               "router %d port %s vc %d in unreachable "
+                               "state kRouting",
+                               id, dirName(indexDir(p)), v));
+                    break;
+                  case Router::VcState::kVcAlloc:
+                    if (vc.occupancy == 0 || !vc.frontIsHead ||
+                        vc.outVc != kInvalidVc || vc.sentAny) {
+                        report(Kind::kVcState, id, now,
+                               formatString(
+                                   "router %d port %s vc %d in VcAlloc "
+                                   "with occupancy=%d frontIsHead=%d "
+                                   "outVc=%d sentAny=%d",
+                                   id, dirName(indexDir(p)), v,
+                                   vc.occupancy, vc.frontIsHead ? 1 : 0,
+                                   vc.outVc, vc.sentAny ? 1 : 0));
+                    }
+                    break;
+                  case Router::VcState::kActive: {
+                    if (vc.outVc < 0 || vc.outVc >= cfg.numVcs) {
+                        report(Kind::kVcState, id, now,
+                               formatString(
+                                   "router %d port %s vc %d active with "
+                                   "invalid output VC %d",
+                                   id, dirName(indexDir(p)), v, vc.outVc));
+                        break;
+                    }
+                    ++holders[dirIndex(vc.outPort)][vc.outVc];
+                    if (!r.outVcBusy(vc.outPort, vc.outVc)) {
+                        report(Kind::kVcState, id, now,
+                               formatString(
+                                   "router %d port %s vc %d holds output "
+                                   "VC %s/%d that is not marked busy",
+                                   id, dirName(indexDir(p)), v,
+                                   dirName(vc.outPort), vc.outVc));
+                    }
+                    // Tail-flit accounting: before the first flit leaves
+                    // the front must be the head; afterwards the head is
+                    // gone and only body/tail flits may be buffered.
+                    if (vc.occupancy > 0 &&
+                        vc.frontIsHead == vc.sentAny) {
+                        report(Kind::kVcState, id, now,
+                               formatString(
+                                   "router %d port %s vc %d active with "
+                                   "sentAny=%d but frontIsHead=%d (tail "
+                                   "accounting broken)",
+                                   id, dirName(indexDir(p)), v,
+                                   vc.sentAny ? 1 : 0,
+                                   vc.frontIsHead ? 1 : 0));
+                    }
+                    break;
+                  }
+                }
+            }
+        }
+
+        // Output-VC ownership: held at most once; every busy VC has an
+        // owner (pipeline input VC, or the NI bypass datapath on the
+        // Bypass Outport).
+        for (int o = 0; o < kNumPorts; ++o) {
+            const Direction dir = indexDir(o);
+            const bool bypassOut =
+                isNord && dir == sys_.ring().bypassOutport(id);
+            for (VcId v = 0; v < cfg.numVcs; ++v) {
+                if (holders[o][v] > 1) {
+                    report(Kind::kVcState, id, now,
+                           formatString(
+                               "router %d output VC %s/%d held by %d "
+                               "input VCs simultaneously",
+                               id, dirName(dir), v, holders[o][v]));
+                }
+                if (r.outVcBusy(dir, v) && holders[o][v] == 0 &&
+                    !(bypassOut && sys_.ni(id).holdsBypassOutVc(v))) {
+                    report(Kind::kVcState, id, now,
+                           formatString(
+                               "router %d leaked output VC %s/%d (busy "
+                               "with no owner)",
+                               id, dirName(dir), v));
+                }
+            }
+        }
+    }
+}
+
+// --- Invariant 4: power-gating handshake safety ----------------------------
+
+void
+InvariantAuditor::checkPgSafety(Cycle now, bool controllersSettled)
+{
+    const NocConfig &cfg = sys_.config();
+    const int n = cfg.numNodes();
+    const bool isNord = cfg.design == PgDesign::kNord;
+
+    for (NodeId id = 0; id < n; ++id) {
+        const Router &r = sys_.router(id);
+        const PowerState st = r.powerState();
+
+        // A kDrain->off transition (and the whole gated residency) is
+        // only legal with a provably empty datapath.
+        if (st != PowerState::kOn && !r.datapathEmpty()) {
+            report(Kind::kPgSafety, id, now,
+                   formatString(
+                       "router %d is %s with %d flit(s) still buffered in "
+                       "its datapath (gated while non-empty)",
+                       id, powerStateName(st), r.bufferedFlits()));
+        }
+
+        // No flit may be in flight toward a router that is not fully on,
+        // except on the NoRD bypass-ring edge (which the downstream NI
+        // latches without powering the router).
+        for (int d = 0; d < kNumMeshDirs; ++d) {
+            const Direction dir = indexDir(d);
+            const Router *down = r.neighborRouter(dir);
+            const FlitLink *link = r.outputLink(dir);
+            if (!down || !link || link->empty())
+                continue;
+            if (down->powerState() == PowerState::kOn)
+                continue;
+            const bool bypassEdge =
+                isNord && dir == sys_.ring().bypassOutport(id);
+            if (!bypassEdge) {
+                report(Kind::kPgSafety, id, now,
+                       formatString(
+                           "%zu flit(s) in flight from router %d toward "
+                           "router %d (%s) which is %s -- they would "
+                           "arrive at a gated pipeline",
+                           link->inFlight(), id, down->id(), dirName(dir),
+                           powerStateName(down->powerState())));
+            }
+        }
+
+        // Lost wakeup: once every controller has evaluated its policy
+        // this cycle, a latched WU request on a gated conventional router
+        // must have started the Vdd ramp. (NoRD ignores WU by design --
+        // the bypass transports the packet instead.)
+        if (controllersSettled && (cfg.design == PgDesign::kConvPg ||
+                                   cfg.design == PgDesign::kConvPgOpt)) {
+            const PgController &ctl = sys_.controller(id);
+            if (ctl.state() == PowerState::kOff &&
+                ctl.wakeRequestPending()) {
+                report(Kind::kPgSafety, id, now,
+                       formatString(
+                           "router %d has a pending wakeup request but "
+                           "its controller stayed off (wakeup lost)",
+                           id));
+            }
+        }
+    }
+}
+
+// --- Invariant 5: liveness -------------------------------------------------
+
+std::string
+InvariantAuditor::routeDiagnosis(const Flit &flit, Cycle now) const
+{
+    const MeshTopology &mesh = sys_.mesh();
+    std::string out = formatString(
+        "packet %llu seq %d (%d->%d, hops %d, misroutes %d, escape %d, "
+        "injected at %llu, age %llu):",
+        static_cast<unsigned long long>(flit.packet), flit.seq, flit.src,
+        flit.dst, flit.hops, flit.misroutes, flit.onEscape ? 1 : 0,
+        static_cast<unsigned long long>(flit.injectedAt),
+        static_cast<unsigned long long>(now - flit.injectedAt));
+    // Walk the minimal XY path: the canonical route the packet would take
+    // with everything powered on; the PG states along it explain most
+    // stalls even for adaptively routed packets.
+    NodeId at = flit.src;
+    for (int hop = 0; hop < mesh.numNodes(); ++hop) {
+        const Router &r = sys_.router(at);
+        out += formatString(" [%d %s occ=%d]", at,
+                            powerStateName(r.powerState()),
+                            r.bufferedFlits());
+        if (at == flit.dst)
+            break;
+        if (mesh.colOf(at) != mesh.colOf(flit.dst)) {
+            at = mesh.neighbor(at, mesh.colOf(flit.dst) > mesh.colOf(at)
+                                       ? Direction::kEast
+                                       : Direction::kWest);
+        } else {
+            at = mesh.neighbor(at, mesh.rowOf(flit.dst) > mesh.rowOf(at)
+                                       ? Direction::kSouth
+                                       : Direction::kNorth);
+        }
+    }
+    return out;
+}
+
+std::string
+InvariantAuditor::stallDiagnosis(Cycle now) const
+{
+    const int n = sys_.config().numNodes();
+    std::string out = formatString(
+        "%llu flit(s) in network at cycle %llu; non-idle routers:",
+        static_cast<unsigned long long>(inNetworkFlits()),
+        static_cast<unsigned long long>(now));
+    for (NodeId id = 0; id < n; ++id) {
+        const Router &r = sys_.router(id);
+        const NetworkInterface &ni = sys_.ni(id);
+        const int held = r.bufferedFlits() + ni.latchOccupancy() +
+                         static_cast<int>(ni.stage3Depth());
+        if (held == 0 && r.powerState() == PowerState::kOn)
+            continue;
+        out += formatString(" [%d %s buf=%d latch=%d s3=%zu]", id,
+                            powerStateName(r.powerState()),
+                            r.bufferedFlits(), ni.latchOccupancy(),
+                            ni.stage3Depth());
+    }
+    return out;
+}
+
+void
+InvariantAuditor::checkFlitAges(Cycle now)
+{
+    const int n = sys_.config().numNodes();
+    bool found = false;
+    Flit oldest;
+    Cycle oldestAge = 0;
+    const auto consider = [&](const Flit &f) {
+        const Cycle age = now >= f.injectedAt ? now - f.injectedAt : 0;
+        if (!found || age > oldestAge) {
+            found = true;
+            oldest = f;
+            oldestAge = age;
+        }
+    };
+    for (NodeId id = 0; id < n; ++id) {
+        const Router &r = sys_.router(id);
+        r.forEachBufferedFlit(
+            [&](Direction, VcId, const Flit &f) { consider(f); });
+        sys_.ni(id).forEachPendingFlit(consider);
+        for (int d = 0; d < kNumMeshDirs; ++d) {
+            const FlitLink *link = r.outputLink(indexDir(d));
+            if (link)
+                link->forEachInFlight(consider);
+        }
+    }
+    if (found && oldestAge > config_.maxFlitAge) {
+        report(Kind::kLiveness, oldest.src, now,
+               formatString("flit exceeded the age bound of %llu cycles "
+                            "(livelock suspected); ",
+                            static_cast<unsigned long long>(
+                                config_.maxFlitAge)) +
+                   routeDiagnosis(oldest, now));
+    }
+}
+
+void
+InvariantAuditor::watchdog(Cycle now)
+{
+    const std::uint64_t progress = progressCounter();
+    if (inNetworkFlits() == 0 || progress != lastProgress_) {
+        lastProgress_ = progress;
+        lastProgressCycle_ = now;
+        stallReported_ = false;
+        return;
+    }
+    if (!stallReported_ && now - lastProgressCycle_ > config_.stallThreshold) {
+        stallReported_ = true;
+        report(Kind::kLiveness, kInvalidNode, now,
+               formatString("no forward progress for %llu cycles "
+                            "(deadlock suspected); ",
+                            static_cast<unsigned long long>(
+                                now - lastProgressCycle_)) +
+                   stallDiagnosis(now));
+    }
+}
+
+// --- Driver ----------------------------------------------------------------
+
+size_t
+InvariantAuditor::sweep(Cycle now, bool controllersSettled)
+{
+    const size_t before = violations_.size();
+    ++sweeps_;
+    checkFlitConservation(now);
+    checkCreditConservation(now);
+    checkVcStates(now);
+    checkPgSafety(now, controllersSettled);
+    checkFlitAges(now);
+    return violations_.size() - before;
+}
+
+void
+InvariantAuditor::abortIfNew(size_t before, Cycle now)
+{
+    if (violations_.size() == before || !config_.abortOnViolation)
+        return;
+    for (size_t i = before; i < violations_.size(); ++i) {
+        const Violation &v = violations_[i];
+        std::fprintf(stderr, "[auditor] %s: %s\n", kindName(v.kind),
+                     v.diagnosis.c_str());
+    }
+    sys_.dumpState(stderr);
+    NORD_PANIC("invariant audit failed at cycle %llu with %zu new "
+               "violation(s); first: [%s] %s",
+               static_cast<unsigned long long>(now),
+               violations_.size() - before,
+               kindName(violations_[before].kind),
+               violations_[before].diagnosis.c_str());
+}
+
+void
+InvariantAuditor::tick(Cycle now)
+{
+    if (!enabled())
+        return;
+    const size_t before = violations_.size();
+    watchdog(now);
+    if (now % config_.interval == 0)
+        sweep(now, true);
+    abortIfNew(before, now);
+}
+
+void
+InvariantAuditor::onPowerTransition(Cycle now, PowerState, PowerState)
+{
+    if (!enabled() || !config_.sweepOnTransition)
+        return;
+    const size_t before = violations_.size();
+    // Mid-cycle: later controllers have not evaluated their policies yet,
+    // so the lost-wakeup check would raise false alarms.
+    sweep(now, false);
+    abortIfNew(before, now);
+}
+
+}  // namespace nord
