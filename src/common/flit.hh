@@ -11,11 +11,35 @@
 #ifndef NORD_COMMON_FLIT_HH
 #define NORD_COMMON_FLIT_HH
 
+#include <array>
 #include <cstdint>
 
 #include "common/types.hh"
 
 namespace nord {
+
+/** End-to-end packet kind: protected data vs. protocol control traffic. */
+enum class E2eKind : std::uint8_t
+{
+    kData = 0,  ///< workload payload packet
+    kAck = 1,   ///< standalone ACK/NACK control packet (single flit)
+};
+
+/** Fault-state flag bits carried by a flit (see src/fault/). */
+enum FlitFaultFlag : std::uint8_t
+{
+    /**
+     * A transient link fault destroyed this flit's framing: the physical
+     * phit still arrives (wormhole flow control stays intact) but the
+     * receiving NI cannot parse it and must discard it silently.
+     */
+    kFaultDropped = 1u << 0,
+    /** This flit belongs to a retransmitted copy of a packet. */
+    kFaultRetransmit = 1u << 1,
+};
+
+/** Number of hops of route history a flit records for diagnosis. */
+inline constexpr int kRouteHistoryDepth = 16;
 
 /**
  * Per-packet metadata carried by every flit.
@@ -60,7 +84,94 @@ struct Flit
 
     /** Workload-defined tag (e.g. transaction id for request/reply). */
     std::uint64_t tag = 0;
+
+    /** Data/control discriminator for the end-to-end protocol. */
+    E2eKind kind = E2eKind::kData;
+
+    /** FlitFaultFlag bits set by fault injection. */
+    std::uint8_t faultFlags = 0;
+
+    /**
+     * End-to-end sequence number within the (src, dst) flow, 1-based.
+     * 0 means the packet is not protected by the E2E layer.
+     */
+    std::uint32_t e2eSeq = 0;
+
+    /** Piggybacked ACK for flow dst->src (per-seq, 0 = none). */
+    std::uint32_t ackSeq = 0;
+
+    /** Piggybacked NACK for flow dst->src (per-seq, 0 = none). */
+    std::uint32_t nackSeq = 0;
+
+    /**
+     * Payload surrogate: a deterministic function of the packet's logical
+     * identity, set at creation. Transient corruption faults flip bits
+     * here; the receiver detects the damage via #checksum.
+     */
+    std::uint64_t payload = 0;
+
+    /** XOR-fold checksum of #payload computed at the sending NI. */
+    std::uint16_t checksum = 0;
+
+    /**
+     * Route history: the last #kRouteHistoryDepth nodes this flit visited
+     * (oldest first), recorded at every router/bypass acceptance for
+     * liveness diagnosis.
+     */
+    std::array<std::int16_t, kRouteHistoryDepth> visited{};
+    std::uint8_t visitedCount = 0;
 };
+
+/** XOR-fold of a 64-bit payload into the 16-bit flit checksum. */
+inline std::uint16_t
+flitChecksum(std::uint64_t payload)
+{
+    std::uint64_t x = payload;
+    x ^= x >> 32;
+    x ^= x >> 16;
+    return static_cast<std::uint16_t>(x & 0xffffu);
+}
+
+/**
+ * Deterministic payload surrogate from a packet's logical identity.
+ * Retransmitted copies regenerate the identical payload, so a clean copy
+ * always passes the checksum regardless of which physical copy arrives.
+ */
+inline std::uint64_t
+flitPayload(NodeId src, NodeId dst, std::uint32_t e2eSeq, std::int16_t seq,
+            std::uint64_t tag)
+{
+    std::uint64_t x = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                           src * 0x1f123bb5u)) << 32) ^
+                      static_cast<std::uint32_t>(dst * 0x27d4eb2fu);
+    x ^= (static_cast<std::uint64_t>(e2eSeq) << 17) ^
+         static_cast<std::uint64_t>(static_cast<std::uint16_t>(seq)) ^
+         (tag * 0x9e3779b97f4a7c15ULL);
+    x ^= x >> 29;
+    return x;
+}
+
+/** Whether the flit's payload still matches its checksum. */
+inline bool
+flitIntact(const Flit &f)
+{
+    return flitChecksum(f.payload) == f.checksum;
+}
+
+/**
+ * Append @p node to the flit's route history, shifting out the oldest
+ * entry once the ring is full.
+ */
+inline void
+recordVisit(Flit &f, NodeId node)
+{
+    if (f.visitedCount == kRouteHistoryDepth) {
+        for (int i = 1; i < kRouteHistoryDepth; ++i)
+            f.visited[i - 1] = f.visited[i];
+        --f.visitedCount;
+    }
+    f.visited[f.visitedCount++] = static_cast<std::int16_t>(node);
+}
 
 /** True if this flit starts a packet. */
 inline bool

@@ -29,11 +29,28 @@ rotl(std::uint64_t x, int k)
 
 }  // namespace
 
+std::uint64_t
+streamSeed(std::uint64_t baseSeed, RngStream stream)
+{
+    const auto id = static_cast<std::uint64_t>(stream);
+    if (id == 0)
+        return baseSeed;  // kTraffic: legacy single-stream compatibility
+    // Decorrelate the stream from the base seed with one SplitMix64 step
+    // keyed by the stream id.
+    std::uint64_t x = baseSeed ^ (id * 0xd1342543de82ef95ULL);
+    return splitMix64(x);
+}
+
 Rng::Rng(std::uint64_t seed)
 {
     std::uint64_t sm = seed;
     for (auto &s : s_)
         s = splitMix64(sm);
+}
+
+Rng::Rng(std::uint64_t baseSeed, RngStream stream)
+    : Rng(streamSeed(baseSeed, stream))
+{
 }
 
 std::uint64_t

@@ -15,6 +15,31 @@
 namespace nord {
 
 /**
+ * Named sub-streams of the simulation-wide seed.
+ *
+ * Each consumer draws from its own stream so that enabling one consumer
+ * cannot perturb another: a fault campaign (kFaults) must leave the traffic
+ * replay (kTraffic) bit-identical, and randomized allocator tie-breaking
+ * (kAllocator, reserved -- the shipped allocators are deterministic
+ * round-robin) must not disturb either.
+ */
+enum class RngStream : std::uint64_t
+{
+    kTraffic = 0,
+    kFaults = 1,
+    kAllocator = 2,
+};
+
+/**
+ * Derive the seed for a named sub-stream from the base simulation seed.
+ *
+ * kTraffic maps to the base seed unchanged, so pre-existing single-stream
+ * simulations replay bit-identically; other streams are decorrelated with a
+ * SplitMix64-style mix.
+ */
+std::uint64_t streamSeed(std::uint64_t baseSeed, RngStream stream);
+
+/**
  * xoshiro256** PRNG with SplitMix64 seeding.
  */
 class Rng
@@ -22,6 +47,9 @@ class Rng
   public:
     /** Construct from a 64-bit seed (expanded via SplitMix64). */
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Construct the generator for a named sub-stream of @p baseSeed. */
+    Rng(std::uint64_t baseSeed, RngStream stream);
 
     /** Next raw 64-bit value. */
     std::uint64_t next64();

@@ -65,10 +65,23 @@ NordController::policy(Cycle now)
       case PowerState::kOff:
         pushSample(ni_.vcRequestsThisCycle());
         if (windowSum_ >= threshold_)
-            beginWakeup(now);
+            tryBeginWakeup(now);
         break;
       case PowerState::kWakingUp:
         break;
+    }
+}
+
+void
+NordController::deadPolicy(Cycle now)
+{
+    // Gate off as soon as the datapath and bypass have drained; once off,
+    // never wake again. The bypass ring keeps the node reachable.
+    if (state_ == PowerState::kOn && sleepAllowed(now) &&
+        ni_.bypassQuiescent()) {
+        beginSleep(now);
+        std::fill(window_.begin(), window_.end(), 0);
+        windowSum_ = 0;
     }
 }
 

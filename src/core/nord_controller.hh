@@ -54,6 +54,13 @@ class NordController : public PgController
   protected:
     void policy(Cycle now) override;
 
+    /**
+     * Fail gated: a dead NoRD router is just a router that can never wake
+     * (Section 4.1's reachability argument doubles as fault tolerance).
+     * Drain, gate off, and let the bypass ring serve the node forever.
+     */
+    void deadPolicy(Cycle now) override;
+
   private:
     /** Shift the sliding window by one cycle with this cycle's count. */
     void pushSample(int count);

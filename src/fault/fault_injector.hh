@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fault-injection campaign engine.
+ *
+ * A Clocked component registered *before* every other component, so the
+ * faults of cycle N perturb the network state that cycle-N evaluation then
+ * observes -- exactly like a glitch on the wire.
+ *
+ * Two injection modes run side by side:
+ *  - Scheduled events (dead router, stuck-at PG controller, lost wakeup)
+ *    fire at fixed cycles for reproducible single-fault experiments.
+ *  - Bernoulli transients (flit corruption/drop, credit leaks, lost
+ *    wakeups) are drawn each cycle from the dedicated kFaults RNG stream,
+ *    so traffic replay stays bit-identical with the campaign on or off.
+ *
+ * Every leaked credit is announced to the InvariantAuditor via
+ * expectCreditDeficit(), which lets its recover mode repair the counter
+ * while still flagging any *unexpected* deficit as a real bug.
+ */
+
+#ifndef NORD_FAULT_FAULT_INJECTOR_HH
+#define NORD_FAULT_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "fault/fault_config.hh"
+#include "sim/clocked.hh"
+
+namespace nord {
+
+class NocSystem;
+class InvariantAuditor;
+struct NocConfig;
+
+/**
+ * Drives the configured fault campaign against one NocSystem.
+ */
+class FaultInjector : public Clocked
+{
+  public:
+    /** Injected-fault tallies, by class. */
+    struct Counts
+    {
+        std::uint64_t corrupt = 0;
+        std::uint64_t drop = 0;
+        std::uint64_t creditLeak = 0;
+        std::uint64_t lostWakeup = 0;
+        std::uint64_t stuck = 0;
+        std::uint64_t dead = 0;
+
+        std::uint64_t total() const
+        {
+            return corrupt + drop + creditLeak + lostWakeup + stuck + dead;
+        }
+    };
+
+    FaultInjector(NocSystem &sys, const NocConfig &config);
+
+    void tick(Cycle now) override;
+
+    std::string name() const override { return "faults"; }
+
+    /** Wire the auditor that gets notified of expected credit deficits. */
+    void setAuditor(InvariantAuditor *auditor) { auditor_ = auditor; }
+
+    /** Faults injected so far. */
+    const Counts &counts() const { return counts_; }
+
+  private:
+    void dispatchScheduled(Cycle now);
+    void injectTransients(Cycle now);
+
+    NocSystem &sys_;
+    const NocConfig &config_;
+    InvariantAuditor *auditor_ = nullptr;
+    Rng rng_;
+    std::vector<FaultEvent> schedule_;  ///< sorted by cycle
+    size_t scheduleIdx_ = 0;
+    Counts counts_;
+};
+
+}  // namespace nord
+
+#endif  // NORD_FAULT_FAULT_INJECTOR_HH

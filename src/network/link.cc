@@ -64,6 +64,22 @@ FlitLink::injectFlitDrop()
     return true;
 }
 
+bool
+FlitLink::injectTransientFault(bool destroyFraming, std::uint64_t xorMask)
+{
+    if (queue_.empty())
+        return false;
+    Flit &f = queue_.front().flit;
+    if (destroyFraming) {
+        f.faultFlags |= kFaultDropped;
+    } else {
+        // Any non-zero mask flips at least one checksum bit, since the
+        // checksum is a plain XOR fold of the payload.
+        f.payload ^= (xorMask != 0 ? xorMask : 1);
+    }
+    return true;
+}
+
 std::string
 FlitLink::name() const
 {

@@ -68,8 +68,24 @@ class FlitLink : public Clocked
     /**
      * Fault injection (testing only): silently drop the oldest in-flight
      * flit, as a buggy link or router would. Returns false when empty.
+     *
+     * Note this physically removes the flit, breaking conservation -- it
+     * exists to prove the auditor detects such bugs. Modeled transient
+     * faults use injectTransientFault() instead, which keeps the phit in
+     * flight so flow control stays coherent.
      */
     bool injectFlitDrop();
+
+    /**
+     * Transient link fault on the oldest in-flight flit. The phit still
+     * arrives (wormhole flow control and conservation stay intact) but its
+     * content is damaged: with @p destroyFraming the receiving NI cannot
+     * parse it and discards it silently (timeout recovery); otherwise
+     * @p xorMask is XORed into the payload so the checksum fails at the
+     * receiver (NACK / fast-retransmit recovery). Returns false when the
+     * link is empty.
+     */
+    bool injectTransientFault(bool destroyFraming, std::uint64_t xorMask);
 
     std::string name() const override;
 

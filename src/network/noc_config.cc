@@ -9,6 +9,31 @@
 
 namespace nord {
 
+const char *
+auditPolicyName(AuditPolicy p)
+{
+    switch (p) {
+      case AuditPolicy::kAbort: return "abort";
+      case AuditPolicy::kDiagnose: return "diagnose";
+      case AuditPolicy::kRecover: return "recover";
+    }
+    return "?";
+}
+
+const char *
+faultClassName(FaultClass cls)
+{
+    switch (cls) {
+      case FaultClass::kFlitCorrupt: return "flit-corrupt";
+      case FaultClass::kFlitDrop: return "flit-drop";
+      case FaultClass::kCreditLeak: return "credit-leak";
+      case FaultClass::kStuckPg: return "stuck-pg";
+      case FaultClass::kLostWakeup: return "lost-wakeup";
+      case FaultClass::kDeadRouter: return "dead-router";
+    }
+    return "?";
+}
+
 void
 NocConfig::validate() const
 {
@@ -39,6 +64,34 @@ NocConfig::validate() const
             NORD_FATAL("verify.stallThreshold must be >= 1");
         if (verify.maxFlitAge < 1)
             NORD_FATAL("verify.maxFlitAge must be >= 1");
+    }
+    if (fault.enabled) {
+        for (double rate : {fault.flitCorruptRate, fault.flitDropRate,
+                            fault.creditLeakRate, fault.lostWakeupRate}) {
+            if (rate < 0.0 || rate > 1.0)
+                NORD_FATAL("fault rates must be probabilities in [0, 1]");
+        }
+        for (const FaultEvent &ev : fault.schedule) {
+            if (ev.node < 0 || ev.node >= numNodes()) {
+                NORD_FATAL("scheduled fault targets node %d outside the "
+                           "%dx%d mesh", ev.node, rows, cols);
+            }
+            if (ev.cls != FaultClass::kDeadRouter &&
+                ev.cls != FaultClass::kStuckPg &&
+                ev.cls != FaultClass::kLostWakeup) {
+                NORD_FATAL("only dead-router / stuck-pg / lost-wakeup "
+                           "faults can be scheduled; transient classes "
+                           "are rate-driven");
+            }
+        }
+    }
+    if (fault.e2e) {
+        if (fault.retransTimeout < 1)
+            NORD_FATAL("fault.retransTimeout must be >= 1");
+        if (fault.retransBackoff < 1)
+            NORD_FATAL("fault.retransBackoff must be >= 1");
+        if (fault.retryLimit < 0)
+            NORD_FATAL("fault.retryLimit must be >= 0");
     }
 }
 

@@ -14,8 +14,30 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "fault/fault_config.hh"
 
 namespace nord {
+
+/**
+ * What the auditor does when a kernel-driven sweep finds new violations.
+ */
+enum class AuditPolicy : std::int8_t
+{
+    /** Dump state and panic on the first unexpected violation. */
+    kAbort,
+    /** Print a diagnosis and keep running; violations accumulate. */
+    kDiagnose,
+    /**
+     * Like kDiagnose, but additionally repair what can be repaired (e.g.
+     * restore credits leaked by an injected fault) and treat violations
+     * announced by the fault injector as expected, so campaigns measure
+     * recovery instead of dying on the first transient.
+     */
+    kRecover,
+};
+
+/** Name string for an audit policy. */
+const char *auditPolicyName(AuditPolicy p);
 
 /**
  * Runtime invariant-audit settings (see src/verify/).
@@ -38,11 +60,12 @@ struct VerifyConfig
     bool sweepOnTransition = true;
 
     /**
-     * Abort (dump state + panic) on the first kernel-driven sweep that
-     * finds a violation. When false, violations only accumulate for
-     * inspection (fault-injection tests).
+     * Reaction to violations found by kernel-driven sweeps: abort (dump
+     * state + panic, the default), diagnose (print + accumulate, used by
+     * fault-injection tests), or recover (repair + tolerate expected
+     * fault transients, used by fault campaigns).
      */
-    bool abortOnViolation = true;
+    AuditPolicy policy = AuditPolicy::kAbort;
 
     /**
      * Liveness watchdog: cycles without any network-wide forward progress
@@ -172,6 +195,9 @@ struct NocConfig
 
     // --- Verification ------------------------------------------------------
     VerifyConfig verify;          ///< runtime invariant-audit settings
+
+    // --- Fault campaign ----------------------------------------------------
+    FaultConfig fault;            ///< fault injection + resilience layer
 
     // --- Derived helpers --------------------------------------------------
     int numNodes() const { return rows * cols; }

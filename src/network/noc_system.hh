@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "fault/fault_injector.hh"
 #include "network/link.hh"
 #include "network/noc_config.hh"
 #include "ni/network_interface.hh"
@@ -96,6 +97,17 @@ class NocSystem
     InvariantAuditor &auditor() { return *auditor_; }
     const InvariantAuditor &auditor() const { return *auditor_; }
 
+    /** Fault-campaign engine (null unless config.fault.enabled). */
+    const FaultInjector *injector() const { return injector_.get(); }
+
+    /**
+     * Permanently fail router @p id right now (same effect as a scheduled
+     * kDeadRouter event). NoRD demotes it to always-gated and serves its
+     * node over the bypass ring; baselines pin it on and eat what routes
+     * into it.
+     */
+    void killRouter(NodeId id);
+
     /** Performance-centric router set used for asymmetric thresholds. */
     const std::vector<NodeId> &perfCentricRouters() const
     {
@@ -153,6 +165,7 @@ class NocSystem
     std::vector<std::unique_ptr<FlitLink>> flitLinks_;
     std::vector<std::unique_ptr<CreditLink>> creditLinks_;
     std::unique_ptr<InvariantAuditor> auditor_;
+    std::unique_ptr<FaultInjector> injector_;
     std::vector<NodeId> perfCentric_;
     WorkloadTicker ticker_;
     Workload *workload_ = nullptr;

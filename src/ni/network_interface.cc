@@ -19,6 +19,8 @@ NetworkInterface::NetworkInterface(NodeId id, const NocConfig &config,
       latch_(static_cast<size_t>(config.numVcs)),
       fwd_(static_cast<size_t>(config.numVcs))
 {
+    if (config.fault.e2e)
+        e2e_ = std::make_unique<E2eEndpoint>(id, config, stats);
 }
 
 std::string
@@ -28,11 +30,10 @@ NetworkInterface::name() const
 }
 
 void
-NetworkInterface::enqueuePacket(const PacketDescriptor &desc)
+NetworkInterface::packetize(const PacketDescriptor &desc,
+                            std::uint32_t e2eSeq, E2eKind kind,
+                            std::uint8_t faultFlags)
 {
-    NORD_ASSERT(desc.length >= 1, "packet with %d flits", desc.length);
-    NORD_ASSERT(desc.src == id_, "packet source %d enqueued at NI %d",
-                desc.src, id_);
     static PacketId nextPacketId = 1;
     const PacketId pid = nextPacketId++;
     for (int i = 0; i < desc.length; ++i) {
@@ -44,6 +45,13 @@ NetworkInterface::enqueuePacket(const PacketDescriptor &desc)
         f.seq = static_cast<std::int16_t>(i);
         f.createdAt = desc.createdAt;
         f.tag = desc.tag;
+        f.kind = kind;
+        f.faultFlags = faultFlags;
+        f.e2eSeq = e2eSeq;
+        f.payload = flitPayload(desc.src, desc.dst, e2eSeq, f.seq,
+                                desc.tag);
+        f.checksum = flitChecksum(f.payload);
+        recordVisit(f, id_);
         if (desc.length == 1) {
             f.type = FlitType::kHeadTail;
         } else if (i == 0) {
@@ -53,8 +61,22 @@ NetworkInterface::enqueuePacket(const PacketDescriptor &desc)
         } else {
             f.type = FlitType::kBody;
         }
+        if (e2e_ && kind == E2eKind::kData && i == 0 && desc.dst != id_)
+            e2e_->attachPiggyback(f);
         injectQ_.push_back(f);
     }
+}
+
+void
+NetworkInterface::enqueuePacket(const PacketDescriptor &desc)
+{
+    NORD_ASSERT(desc.length >= 1, "packet with %d flits", desc.length);
+    NORD_ASSERT(desc.src == id_, "packet source %d enqueued at NI %d",
+                desc.src, id_);
+    std::uint32_t e2eSeq = 0;
+    if (e2e_ && desc.dst != id_)
+        e2eSeq = e2e_->registerSend(desc);
+    packetize(desc, e2eSeq, E2eKind::kData, 0);
     stats_.packetCreated(desc);
 }
 
@@ -76,11 +98,51 @@ void
 NetworkInterface::deliverFlit(const Flit &flit, Cycle now)
 {
     stats_.flitEjected(now);
+    if (e2e_) {
+        // The protocol layer filters damaged, duplicate and out-of-order
+        // copies; only tails it releases count as logical deliveries.
+        deliverBuf_.clear();
+        e2e_->onFlitArrived(flit, now, deliverBuf_);
+        for (const Flit &tail : deliverBuf_) {
+            ++packetsReceived_;
+            stats_.packetDelivered(tail, now);
+            if (onDelivery_)
+                onDelivery_(tail, now);
+        }
+        return;
+    }
     if (flitIsTail(flit)) {
         ++packetsReceived_;
         stats_.packetDelivered(flit, now);
         if (onDelivery_)
             onDelivery_(flit, now);
+    }
+}
+
+void
+NetworkInterface::e2eService(Cycle now)
+{
+    resendBuf_.clear();
+    ackBuf_.clear();
+    e2e_->service(now, resendBuf_, ackBuf_);
+    for (const E2eEndpoint::Resend &r : resendBuf_) {
+        // A retransmitted copy keeps its logical identity (sequence
+        // number, creation time -- so latency includes recovery) but is a
+        // fresh physical packet.
+        packetize(r.desc, r.seq, E2eKind::kData, kFaultRetransmit);
+    }
+    for (const E2eEndpoint::AckSend &a : ackBuf_) {
+        PacketDescriptor ack;
+        ack.src = id_;
+        ack.dst = a.dst;
+        ack.length = 1;
+        ack.createdAt = now;
+        packetize(ack, 0, E2eKind::kAck, 0);
+        // Stamp the protocol fields onto the single flit just queued.
+        Flit &f = injectQ_.back();
+        f.ackSeq = a.ackSeq;
+        f.nackSeq = a.nackSeq;
+        stats_.controlPacketCreated();
     }
 }
 
@@ -478,6 +540,26 @@ NetworkInterface::normalInjection(Cycle now)
         return;
     }
 
+    // Node-router dependence cuts the other way too: when the local
+    // router is permanently dead (non-NoRD), new packets have no path
+    // into the network. Drop them at the source and account the loss;
+    // wormholes already partially injected are completed so the dead
+    // router's (still running) pipeline is not left with a headless tail.
+    if (!isNord() && router_->controller().dead() &&
+        injectVc_ == kInvalidVc) {
+        const Flit head = injectQ_.front();
+        NORD_DCHECK(flitIsHead(head), "mid-packet without an inject VC");
+        while (!injectQ_.empty()) {
+            const Flit &f = injectQ_.front();
+            if (flitIsHead(f) && f.packet != head.packet)
+                break;
+            injectQ_.pop_front();
+        }
+        if (!e2e_ && head.kind == E2eKind::kData)
+            stats_.packetFailed();
+        return;
+    }
+
     Flit flit = injectQ_.front();
     if (flit.dst == id_) {
         // Self-addressed packet: deliver without touching the network.
@@ -567,6 +649,8 @@ NetworkInterface::tick(Cycle now)
     vcRequests_ = 0;
     ringOutBusy_ = false;
     processEjection(now);
+    if (e2e_)
+        e2eService(now);
     if (isNord()) {
         bypassStage3(now);
         bypassStage2(now);

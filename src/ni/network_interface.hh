@@ -26,12 +26,14 @@
 #include <cstdio>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "common/flit.hh"
 #include "common/types.hh"
+#include "fault/e2e_protocol.hh"
 #include "network/noc_config.hh"
 #include "sim/clocked.hh"
 #include "stats/network_stats.hh"
@@ -69,11 +71,18 @@ class NetworkInterface : public Clocked
     /** Flits waiting to enter the network. */
     size_t injectionBacklog() const { return injectQ_.size(); }
 
-    /** True when no flit is queued, in flight to the node, or bypassing. */
+    /**
+     * True when no flit is queued, in flight to the node, or bypassing,
+     * and (with the E2E layer on) no send is awaiting acknowledgement.
+     */
     bool idle() const
     {
-        return injectQ_.empty() && ejectQ_.empty() && bypassQuiescent();
+        return injectQ_.empty() && ejectQ_.empty() && bypassQuiescent() &&
+               (!e2e_ || e2e_->quiescent());
     }
+
+    /** End-to-end protocol endpoint (null unless config.fault.e2e). */
+    const E2eEndpoint *e2e() const { return e2e_.get(); }
 
     // --- Router-facing interface -------------------------------------------
     /** A flit left the router's local output port; arrives at @p due. */
@@ -184,6 +193,17 @@ class NetworkInterface : public Clocked
     void normalInjection(Cycle now);
     void deliverFlit(const Flit &flit, Cycle now);
 
+    /**
+     * Packetize @p desc into the injection queue. @p e2eSeq stamps the
+     * flow sequence number (0 = unprotected), @p kind distinguishes data
+     * from control packets, @p faultFlags marks retransmitted copies.
+     */
+    void packetize(const PacketDescriptor &desc, std::uint32_t e2eSeq,
+                   E2eKind kind, std::uint8_t faultFlags);
+
+    /** Run the E2E protocol timers and emit requested sends. */
+    void e2eService(Cycle now);
+
     /** Stage-2 service of the flit at the front of latch slot @p slot. */
     bool serveLatchSlot(int slot, Cycle now);
 
@@ -228,6 +248,12 @@ class NetworkInterface : public Clocked
     int latchOccupancy_ = 0;
     bool ringOutBusy_ = false;  ///< Bypass Outport driven this cycle
     std::uint64_t aggressiveFwds_ = 0;
+
+    // End-to-end reliability (null unless config.fault.e2e).
+    std::unique_ptr<E2eEndpoint> e2e_;
+    std::vector<Flit> deliverBuf_;                 ///< scratch
+    std::vector<E2eEndpoint::Resend> resendBuf_;   ///< scratch
+    std::vector<E2eEndpoint::AckSend> ackBuf_;     ///< scratch
 };
 
 }  // namespace nord

@@ -24,10 +24,65 @@ PgController::name() const
 }
 
 void
-PgController::requestWakeup(Cycle)
+PgController::requestWakeup(Cycle now)
 {
-    if (state_ != PowerState::kOn)
+    if (state_ != PowerState::kOn) {
+        if (!wakeRequested_)
+            wakePendingSince_ = now;
         wakeRequested_ = true;
+    }
+}
+
+void
+PgController::injectForcedOff(Cycle now)
+{
+    if (state_ == PowerState::kOff)
+        return;
+    const PowerState from = state_;
+    state_ = PowerState::kOff;
+    wakeDone_ = kNeverCycle;
+    ++counters_.sleeps;
+    // A healthy transition drains first. When the forced transition finds
+    // an empty datapath, run the router's sleep hook so downstream state
+    // (NoRD bypass enable, quiescence checks) stays coherent; when it
+    // does not, the missing drain IS the injected bug -- leave the stale
+    // datapath in place for the auditor to flag rather than crash on the
+    // hook's precondition.
+    if (router_.datapathEmpty())
+        router_.onSleep(now);
+    notifyTransition(now, from, PowerState::kOff);
+}
+
+void
+PgController::markDead(Cycle now)
+{
+    if (dead_)
+        return;
+    dead_ = true;
+    deadPolicy(now);
+}
+
+bool
+PgController::tryBeginWakeup(Cycle now)
+{
+    if (dead_)
+        return false;
+    if (wakeupSuppressed(now))
+        return false;  // the command is silently lost in the faulty input
+    beginWakeup(now);
+    return true;
+}
+
+void
+PgController::deadPolicy(Cycle now)
+{
+    // Fail active: pin the router on. Packets that still route into it
+    // are eaten at its input stage (Router::acceptFlit).
+    if (state_ == PowerState::kOff) {
+        // Bypass the (also dead) command path: this models the supervisor
+        // forcing the rail on, not a normal WU handshake.
+        beginWakeup(now);
+    }
 }
 
 bool
@@ -85,12 +140,31 @@ PgController::tick(Cycle now)
         notifyTransition(now, PowerState::kWakingUp, PowerState::kOn);
     }
 
-    policy(now);
+    if (dead_)
+        deadPolicy(now);
+    else
+        policy(now);
+
+    // Wakeup watchdog: an independent always-on supervisor that notices a
+    // latched wakeup request going unserved far longer than a healthy
+    // handshake ever takes (the policy wakes within a cycle) and forces
+    // the ramp, recovering lost/stuck wakeup commands. Never fires in a
+    // fault-free run.
+    if (!dead_ && state_ == PowerState::kOff && wakeRequested_ &&
+        config_.fault.wakeupWatchdog > 0 &&
+        wakePendingSince_ != kNeverCycle &&
+        now - wakePendingSince_ >= config_.fault.wakeupWatchdog) {
+        suppressWakeUntil_ = 0;  // the watchdog path is not suppressible
+        beginWakeup(now);
+        ++watchdogWakes_;
+    }
 
     // WU is a level signal: requesters re-assert it every cycle they
     // still need the router, so consume it once evaluated while on.
-    if (state_ == PowerState::kOn)
+    if (state_ == PowerState::kOn) {
         wakeRequested_ = false;
+        wakePendingSince_ = kNeverCycle;
+    }
 
     switch (state_) {
       case PowerState::kOn: ++counters_.onCycles; break;
@@ -124,7 +198,7 @@ ConvPgController::policy(Cycle now)
         break;
       case PowerState::kOff:
         if (wakeRequested_)
-            beginWakeup(now);
+            tryBeginWakeup(now);
         break;
       case PowerState::kWakingUp:
         break;

@@ -60,10 +60,45 @@ class PgController : public Clocked
     }
 
     /**
-     * Fault injection (testing only): force the state to Off without the
-     * drain/handshake checks, as a buggy sleep policy would.
+     * Fault injection (testing only): force the state to Off regardless of
+     * what the policy would decide. Unlike a raw state write, this goes
+     * through the controller's transition path -- the listener fires, the
+     * sleep counter advances and the router's sleep hook runs when its
+     * drain precondition holds -- so neighbors and the auditor observe a
+     * coherent (if premature) transition. Forcing off a non-empty router
+     * still models the "buggy sleep policy" the auditor must flag.
      */
-    void injectForcedOff() { state_ = PowerState::kOff; }
+    void injectForcedOff(Cycle now);
+
+    /**
+     * Fault injection: the controller's wakeup command input is stuck
+     * until cycle @p until -- wakeup attempts are lost. Models both a
+     * stuck-at-off controller and a lost WU signal.
+     */
+    void injectWakeupSuppression(Cycle until)
+    {
+        suppressWakeUntil_ = until;
+    }
+
+    /** True while an injected fault is eating wakeup commands. */
+    bool wakeupSuppressed(Cycle now) const
+    {
+        return now < suppressWakeUntil_;
+    }
+
+    /**
+     * Permanently fail this router. From now on deadPolicy() replaces the
+     * normal policy: NoRD demotes the router to always-gated (its node
+     * falls back to the bypass ring); baselines pin it on and its input
+     * stage eats new packets.
+     */
+    void markDead(Cycle now);
+
+    /** True once markDead() was called. */
+    bool dead() const { return dead_; }
+
+    /** Times the wakeup watchdog had to force a wakeup. */
+    std::uint64_t watchdogWakes() const { return watchdogWakes_; }
 
     /**
      * Wakeup (WU) request from a neighbor's allocation stage or the local
@@ -79,6 +114,22 @@ class PgController : public Clocked
   protected:
     /** Policy hook, called once per cycle after residency accounting. */
     virtual void policy(Cycle now) = 0;
+
+    /**
+     * Policy replacement once the router is dead. The default ("fail
+     * active") pins the router on: a failed router cannot be trusted to
+     * execute the wakeup handshake on demand, so baselines keep it
+     * powered and discard what routes into it. NordController overrides
+     * this with "fail gated".
+     */
+    virtual void deadPolicy(Cycle now);
+
+    /**
+     * Issue the wakeup command through the (possibly faulty) command
+     * path: lost while suppressed, refused once dead. Returns whether the
+     * ramp actually started.
+     */
+    bool tryBeginWakeup(Cycle now);
 
     /**
      * True when the router may be gated off this cycle: datapath empty,
@@ -105,6 +156,12 @@ class PgController : public Clocked
     Cycle wakeDone_ = kNeverCycle;   ///< cycle the Vdd ramp completes
     Cycle emptySince_ = 0;           ///< first cycle of the current empty run
     bool wasEmpty_ = false;
+
+    bool dead_ = false;              ///< permanently failed router
+    Cycle suppressWakeUntil_ = 0;    ///< wakeup commands lost before this
+    Cycle wakePendingSince_ = kNeverCycle;  ///< first cycle of the current
+                                            ///< unserved wakeup request
+    std::uint64_t watchdogWakes_ = 0;
 };
 
 /** Always-on controller for the No_PG baseline. */

@@ -153,8 +153,45 @@ Router::injectCreditLeak(Direction outPort, VcId vc)
 }
 
 void
-Router::acceptFlit(Direction inPort, const Flit &flit, Cycle now)
+Router::repairCredits(Direction outPort, VcId vc, int count)
 {
+    OutputPort &op = outputs_[dirIndex(outPort)];
+    op.credits[vc] += count;
+    NORD_ASSERT(op.credits[vc] <= config_.bufferDepth,
+                "credit repair overflow at router %d port %s vc %d", id_,
+                dirName(outPort), vc);
+}
+
+void
+Router::eatFlit(Direction inPort, const Flit &flit, Cycle now)
+{
+    InputPort &ip = inputs_[dirIndex(inPort)];
+    VirtualChannel &vc = ip.vcs[flit.vc];
+    tracePacket(flit.packet, now, "eaten at dead router %d port %s seq %d",
+                id_, dirName(inPort), flit.seq);
+    if (flitIsHead(flit)) {
+        vc.eating = true;
+        // Without the E2E layer nobody else will account for the loss.
+        if (!config_.fault.e2e && flit.kind == E2eKind::kData)
+            stats_.packetFailed();
+    }
+    if (flitIsTail(flit))
+        vc.eating = false;
+    stats_.flitEaten(now);
+    // Return the credit with normal buffer-read timing so the upstream
+    // counter stays coherent.
+    if (ip.creditReturn)
+        ip.creditReturn->push(flit.vc, now + 1);
+    else
+        ni_->localCreditReturn(flit.vc);
+}
+
+void
+Router::acceptFlit(Direction inPort, const Flit &arrived, Cycle now)
+{
+    Flit flit = arrived;
+    recordVisit(flit, id_);
+
     // NoRD: ring traffic bound for the NI bypass latch while this router
     // is gated off (or still draining a bypass packet after waking).
     if (config_.design == PgDesign::kNord &&
@@ -165,6 +202,19 @@ Router::acceptFlit(Direction inPort, const Flit &flit, Cycle now)
         ni_->bypassLatchWrite(flit, now);
         return;
     }
+
+    // A permanently dead non-NoRD router is pinned on but untrusted: new
+    // packets reaching its input stage are eaten (head and the body flits
+    // that follow it), while wormholes accepted before the failure drain
+    // through the still-running pipeline.
+    if (controller_->dead() && config_.design != PgDesign::kNord) {
+        const VirtualChannel &vc = inputs_[dirIndex(inPort)].vcs[flit.vc];
+        if (flitIsHead(flit) || vc.eating) {
+            eatFlit(inPort, flit, now);
+            return;
+        }
+    }
+
     tracePacket(flit.packet, now, "buffer write at %d port %s seq %d vc %d",
                 id_, dirName(inPort), flit.seq, flit.vc);
 

@@ -249,6 +249,19 @@ class Router : public Clocked
      */
     void injectCreditLeak(Direction outPort, VcId vc);
 
+    /**
+     * Restore @p count credits of (@p outPort, @p vc). Maintenance path
+     * used by the InvariantAuditor's recover policy to repair credit
+     * counters deflated by injected credit-leak faults.
+     */
+    void repairCredits(Direction outPort, VcId vc, int count);
+
+    /** Mutable outgoing link on @p d (FaultInjector only). */
+    FlitLink *outputLinkMut(Direction d)
+    {
+        return outputs_[dirIndex(d)].link;
+    }
+
     /** Dump all non-idle pipeline state to @p out (diagnostics). */
     void dumpState(std::FILE *out) const;
 
@@ -273,6 +286,7 @@ class Router : public Clocked
         int blockedCycles = 0;   ///< consecutive failed VA attempts
         int saBlocked = 0;       ///< consecutive credit-blocked SA tries
         bool sentAny = false;    ///< a flit of this packet already left
+        bool eating = false;     ///< dead router: discarding this packet
     };
 
     struct InputPort
@@ -302,6 +316,14 @@ class Router : public Clocked
 
     /** Send @p flit out of @p outPort / @p outVc (ST + LT). */
     void sendFlit(InputPort &ip, int ipIdx, VirtualChannel &vc, Cycle now);
+
+    /**
+     * Dead-router graceful degradation ("fail active eating"): discard an
+     * arriving flit of a newly-started packet at the input stage while
+     * returning its credit upstream, so the fabric neither hangs nor
+     * leaks flow control. In-progress wormholes complete normally.
+     */
+    void eatFlit(Direction inPort, const Flit &flit, Cycle now);
 
     /** Restart heads whose chosen output just became unavailable. */
     void restartHeadsOn(Direction d);

@@ -54,11 +54,19 @@ IdlePeriodHistogram::mean() const
     return static_cast<double>(totalCycles_) / static_cast<double>(count_);
 }
 
+namespace {
+
+/// Latency histogram: exact 1-cycle buckets up to this bound, then overflow.
+constexpr size_t kLatencyBuckets = 8192;
+
+}  // namespace
+
 NetworkStats::NetworkStats(int numRouters, Cycle warmup)
     : routers_(numRouters),
       idleHists_(numRouters),
       idleStart_(numRouters, kNeverCycle),
-      warmup_(warmup)
+      warmup_(warmup),
+      latencyHist_(kLatencyBuckets + 1, 0)
 {
 }
 
@@ -76,10 +84,87 @@ NetworkStats::packetDelivered(const Flit &tail, Cycle now)
     if (tail.createdAt >= warmup_) {
         NORD_ASSERT(now >= tail.createdAt,
                     "packet delivered before creation");
-        latencySum_ += now - tail.createdAt;
+        const Cycle latency = now - tail.createdAt;
+        latencySum_ += latency;
         hopSum_ += static_cast<std::uint64_t>(tail.hops);
         ++measuredPackets_;
+        size_t bucket = static_cast<size_t>(latency);
+        if (bucket >= latencyHist_.size())
+            bucket = latencyHist_.size() - 1;
+        ++latencyHist_[bucket];
     }
+}
+
+void
+NetworkStats::flitEaten(Cycle)
+{
+    ++flitsEaten_;
+}
+
+void
+NetworkStats::packetFailed()
+{
+    ++packetsFailed_;
+}
+
+void
+NetworkStats::controlPacketCreated()
+{
+    ++controlPacketsCreated_;
+}
+
+void
+NetworkStats::controlPacketDelivered()
+{
+    ++controlPacketsDelivered_;
+}
+
+FlowStats &
+NetworkStats::flow(NodeId src, NodeId dst)
+{
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 32) |
+        static_cast<std::uint32_t>(dst);
+    return flows_[key];
+}
+
+FlowStats
+NetworkStats::flowTotals() const
+{
+    FlowStats t;
+    for (const auto &[key, f] : flows_) {
+        (void)key;
+        t.delivered += f.delivered;
+        t.retransmits += f.retransmits;
+        t.timeouts += f.timeouts;
+        t.nacks += f.nacks;
+        t.duplicates += f.duplicates;
+        t.damaged += f.damaged;
+        t.failed += f.failed;
+        t.recovered += f.recovered;
+        t.recoveryLatencySum += f.recoveryLatencySum;
+    }
+    return t;
+}
+
+double
+NetworkStats::latencyPercentile(double p) const
+{
+    if (measuredPackets_ == 0)
+        return 0.0;
+    if (p < 0.0)
+        p = 0.0;
+    if (p > 1.0)
+        p = 1.0;
+    const auto rank = static_cast<std::uint64_t>(
+        p * static_cast<double>(measuredPackets_ - 1));
+    std::uint64_t seen = 0;
+    for (size_t i = 0; i < latencyHist_.size(); ++i) {
+        seen += latencyHist_[i];
+        if (seen > rank)
+            return static_cast<double>(i);
+    }
+    return static_cast<double>(latencyHist_.size() - 1);
 }
 
 void

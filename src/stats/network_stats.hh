@@ -12,12 +12,30 @@
 #define NORD_STATS_NETWORK_STATS_HH
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "common/flit.hh"
 #include "common/types.hh"
 
 namespace nord {
+
+/**
+ * End-to-end resilience statistics for one (src, dst) flow.
+ */
+struct FlowStats
+{
+    std::uint64_t delivered = 0;     ///< packets logically delivered in order
+    std::uint64_t retransmits = 0;   ///< retransmitted copies sent
+    std::uint64_t timeouts = 0;      ///< retransmissions due to ACK timeout
+    std::uint64_t nacks = 0;         ///< NACKs issued by the receiver
+    std::uint64_t duplicates = 0;    ///< duplicate copies discarded
+    std::uint64_t damaged = 0;       ///< copies discarded for damage
+    std::uint64_t failed = 0;        ///< packets abandoned (retry budget)
+    std::uint64_t recovered = 0;     ///< packets acked after >= 1 retransmit
+    std::uint64_t recoveryLatencySum = 0;  ///< first-send-to-ACK cycles of
+                                           ///< recovered packets
+};
 
 /**
  * Dynamic-event and power-state counters for one router (including its NI
@@ -114,6 +132,27 @@ class NetworkStats
      */
     void flitEjected(Cycle now);
 
+    // --- Fault / resilience bookkeeping ------------------------------------
+    /**
+     * A flit was discarded ("eaten") at the input stage of a permanently
+     * dead router, its credit returned upstream. Eaten flits left the
+     * fabric without reaching a node.
+     */
+    void flitEaten(Cycle now);
+
+    /** A packet was abandoned: dropped at a dead router (no E2E layer) or
+        its retransmission budget was exhausted. */
+    void packetFailed();
+
+    /** A standalone ACK/NACK control packet was created. */
+    void controlPacketCreated();
+
+    /** A standalone ACK/NACK control packet reached its destination. */
+    void controlPacketDelivered();
+
+    /** Mutable per-flow resilience stats for flow src -> dst. */
+    FlowStats &flow(NodeId src, NodeId dst);
+
     // --- Router activity ---------------------------------------------------
     ActivityCounters &router(NodeId id) { return routers_[id]; }
     const ActivityCounters &router(NodeId id) const { return routers_[id]; }
@@ -127,12 +166,34 @@ class NetworkStats
     // --- Results ------------------------------------------------------------
     std::uint64_t packetsCreated() const { return packetsCreated_; }
     std::uint64_t packetsDelivered() const { return packetsDelivered_; }
+    std::uint64_t packetsFailed() const { return packetsFailed_; }
     std::uint64_t flitsInjected() const { return flitsInjected_; }
     std::uint64_t flitsDelivered() const { return flitsDelivered_; }
     std::uint64_t flitsEjected() const { return flitsEjected_; }
+    std::uint64_t flitsEaten() const { return flitsEaten_; }
+    std::uint64_t controlPacketsCreated() const
+    {
+        return controlPacketsCreated_;
+    }
+    std::uint64_t controlPacketsDelivered() const
+    {
+        return controlPacketsDelivered_;
+    }
+
+    /** Read-only per-flow resilience stats. */
+    const std::map<std::uint64_t, FlowStats> &flows() const { return flows_; }
+
+    /** Sum of all per-flow resilience stats. */
+    FlowStats flowTotals() const;
 
     /** Mean packet latency in cycles (creation to tail ejection). */
     double avgPacketLatency() const;
+
+    /**
+     * Latency percentile @p p in [0, 1] over measured packets, from a
+     * 1-cycle-bucket histogram (exact below the overflow bucket).
+     */
+    double latencyPercentile(double p) const;
 
     /** Mean hop count of delivered packets. */
     double avgHops() const;
@@ -165,12 +226,18 @@ class NetworkStats
     Cycle warmup_;
     std::uint64_t packetsCreated_ = 0;
     std::uint64_t packetsDelivered_ = 0;
+    std::uint64_t packetsFailed_ = 0;
     std::uint64_t flitsInjected_ = 0;
     std::uint64_t flitsDelivered_ = 0;
     std::uint64_t flitsEjected_ = 0;
+    std::uint64_t flitsEaten_ = 0;
+    std::uint64_t controlPacketsCreated_ = 0;
+    std::uint64_t controlPacketsDelivered_ = 0;
     std::uint64_t latencySum_ = 0;
     std::uint64_t hopSum_ = 0;
     std::uint64_t measuredPackets_ = 0;
+    std::vector<std::uint64_t> latencyHist_;  ///< 1-cycle buckets + overflow
+    std::map<std::uint64_t, FlowStats> flows_;  ///< key (src << 32) | dst
 };
 
 }  // namespace nord

@@ -27,7 +27,8 @@ SyntheticTraffic::SyntheticTraffic(TrafficPattern pattern,
                                    std::uint64_t seed, int shortLen,
                                    int longLen, double longFraction)
     : pattern_(pattern), flitRate_(flitsPerNodeCycle), shortLen_(shortLen),
-      longLen_(longLen), longFraction_(longFraction), rng_(seed)
+      longLen_(longLen), longFraction_(longFraction),
+      rng_(seed, RngStream::kTraffic)
 {
 }
 

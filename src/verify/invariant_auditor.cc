@@ -43,18 +43,38 @@ InvariantAuditor::hasViolation(Kind k) const
     return false;
 }
 
+size_t
+InvariantAuditor::unexpectedViolations() const
+{
+    size_t count = 0;
+    for (const Violation &v : violations_) {
+        if (!v.expected)
+            ++count;
+    }
+    return count;
+}
+
+void
+InvariantAuditor::expectCreditDeficit(NodeId node, Direction dir, VcId vc)
+{
+    ++expectedLeaks_[leakKey(node, dir, vc)];
+}
+
 void
 InvariantAuditor::report(Kind kind, NodeId node, Cycle now,
-                         std::string diagnosis)
+                         std::string diagnosis, bool expected)
 {
-    violations_.push_back({kind, node, now, std::move(diagnosis)});
+    violations_.push_back({kind, node, now, std::move(diagnosis), expected});
 }
 
 std::uint64_t
 InvariantAuditor::inNetworkFlits() const
 {
+    // Eaten flits (discarded at a dead router's input stage) left the
+    // network without being ejected.
     const NetworkStats &stats = sys_.stats();
-    return stats.flitsInjected() - stats.flitsEjected();
+    return stats.flitsInjected() - stats.flitsEjected() -
+           stats.flitsEaten();
 }
 
 std::uint64_t
@@ -63,7 +83,7 @@ InvariantAuditor::progressCounter() const
     const ActivityCounters totals = sys_.stats().totals();
     return totals.linkTraversals + totals.bufferReads +
            totals.bypassForwards + sys_.stats().flitsInjected() +
-           sys_.stats().flitsEjected();
+           sys_.stats().flitsEjected() + sys_.stats().flitsEaten();
 }
 
 // --- Invariant 1: flit conservation ---------------------------------------
@@ -97,7 +117,8 @@ InvariantAuditor::checkFlitConservation(Cycle now)
         report(Kind::kFlitConservation, kInvalidNode, now,
                formatString(
                    "flit conservation broken: %llu flits in network "
-                   "(injected %llu - ejected %llu) but %llu accounted for "
+                   "(injected %llu - ejected %llu - eaten %llu) but %llu "
+                   "accounted for "
                    "(buffers %llu, links %llu, eject queues %llu, bypass "
                    "latches %llu, stage-3 %llu); %llu flit(s) %s",
                    static_cast<unsigned long long>(expected),
@@ -105,6 +126,8 @@ InvariantAuditor::checkFlitConservation(Cycle now)
                        sys_.stats().flitsInjected()),
                    static_cast<unsigned long long>(
                        sys_.stats().flitsEjected()),
+                   static_cast<unsigned long long>(
+                       sys_.stats().flitsEaten()),
                    static_cast<unsigned long long>(counted),
                    static_cast<unsigned long long>(inBuffers),
                    static_cast<unsigned long long>(inLinks),
@@ -162,13 +185,37 @@ InvariantAuditor::checkCreditConservation(Cycle now)
                     sum += upNi.stage3CountForVc(v);
                 }
                 if (sum != expected) {
+                    // A deficit the FaultInjector announced is an expected
+                    // consequence of the campaign, not a bug; the recover
+                    // policy restores the upstream counter in place.
+                    bool announced = false;
+                    bool repaired = false;
+                    if (sum < expected) {
+                        const int deficit = expected - sum;
+                        auto it = expectedLeaks_.find(leakKey(id, dir, v));
+                        if (it != expectedLeaks_.end() &&
+                            it->second >= deficit) {
+                            announced = true;
+                            if (config_.policy == AuditPolicy::kRecover &&
+                                mutableSys_) {
+                                mutableSys_->router(id).repairCredits(
+                                    dir, v, deficit);
+                                it->second -= deficit;
+                                if (it->second == 0)
+                                    expectedLeaks_.erase(it);
+                                recovered_ +=
+                                    static_cast<std::uint64_t>(deficit);
+                                repaired = true;
+                            }
+                        }
+                    }
                     report(Kind::kCreditConservation, id, now,
                            formatString(
                                "credit conservation broken on link %d->%d "
                                "(%s) vc %d: credits %d + in-flight credits "
                                "%d + in-flight flits %d + downstream "
                                "occupancy %d%s = %d, expected %d "
-                               "(gatedView=%d ringEdge=%d)",
+                               "(gatedView=%d ringEdge=%d)%s",
                                id, down->id(), dirName(dir), v,
                                up.creditCount(dir, v),
                                clink ? clink->inFlightForVc(v) : 0,
@@ -177,7 +224,10 @@ InvariantAuditor::checkCreditConservation(Cycle now)
                                ringEdge ? " + latch/stage3" : "",
                                sum, expected,
                                up.outputGatedView(dir) ? 1 : 0,
-                               ringEdge ? 1 : 0));
+                               ringEdge ? 1 : 0,
+                               repaired ? " [injected leak, repaired]"
+                               : announced ? " [injected leak]" : ""),
+                           announced);
                 }
             }
         }
@@ -384,11 +434,18 @@ InvariantAuditor::checkPgSafety(Cycle now, bool controllersSettled)
             const PgController &ctl = sys_.controller(id);
             if (ctl.state() == PowerState::kOff &&
                 ctl.wakeRequestPending()) {
+                // An injected suppression (or a dead controller) explains
+                // the lost wakeup; the watchdog recovers the former.
+                const bool injected =
+                    ctl.dead() || ctl.wakeupSuppressed(now);
                 report(Kind::kPgSafety, id, now,
                        formatString(
                            "router %d has a pending wakeup request but "
-                           "its controller stayed off (wakeup lost)",
-                           id));
+                           "its controller stayed off (wakeup lost)%s",
+                           id,
+                           injected ? " [injected fault; watchdog "
+                                      "pending]" : ""),
+                       injected);
             }
         }
     }
@@ -428,6 +485,15 @@ InvariantAuditor::routeDiagnosis(const Flit &flit, Cycle now) const
                                        : Direction::kNorth);
         }
     }
+    // The route the flit *actually* took (every router and NI it touched,
+    // newest last), which the minimal-path walk above cannot show for
+    // adaptively routed or bypassing packets.
+    out += formatString("; route history (%slast %d):",
+                        flit.visitedCount >= kRouteHistoryDepth
+                            ? "truncated, " : "",
+                        static_cast<int>(flit.visitedCount));
+    for (int i = 0; i < flit.visitedCount; ++i)
+        out += formatString(" %d", static_cast<int>(flit.visited[i]));
     return out;
 }
 
@@ -527,22 +593,38 @@ InvariantAuditor::sweep(Cycle now, bool controllersSettled)
 }
 
 void
-InvariantAuditor::abortIfNew(size_t before, Cycle now)
+InvariantAuditor::applyPolicy(size_t before, Cycle now)
 {
-    if (violations_.size() == before || !config_.abortOnViolation)
+    if (violations_.size() == before)
         return;
+    const Violation *firstUnexpected = nullptr;
+    size_t newUnexpected = 0;
     for (size_t i = before; i < violations_.size(); ++i) {
         const Violation &v = violations_[i];
-        std::fprintf(stderr, "[auditor] %s: %s\n", kindName(v.kind),
-                     v.diagnosis.c_str());
+        if (!v.expected) {
+            ++newUnexpected;
+            if (!firstUnexpected)
+                firstUnexpected = &v;
+        }
+        // kAbort stays quiet about expected violations (they are part of
+        // the configured fault campaign); kDiagnose narrates everything;
+        // kRecover narrates only what it could not attribute or repair.
+        const bool print =
+            config_.policy == AuditPolicy::kDiagnose ? true : !v.expected;
+        if (print) {
+            std::fprintf(stderr, "[auditor] %s%s: %s\n", kindName(v.kind),
+                         v.expected ? " (expected)" : "",
+                         v.diagnosis.c_str());
+        }
     }
+    if (config_.policy != AuditPolicy::kAbort || newUnexpected == 0)
+        return;
     sys_.dumpState(stderr);
     NORD_PANIC("invariant audit failed at cycle %llu with %zu new "
-               "violation(s); first: [%s] %s",
+               "unexpected violation(s); first: [%s] %s",
                static_cast<unsigned long long>(now),
-               violations_.size() - before,
-               kindName(violations_[before].kind),
-               violations_[before].diagnosis.c_str());
+               newUnexpected, kindName(firstUnexpected->kind),
+               firstUnexpected->diagnosis.c_str());
 }
 
 void
@@ -554,7 +636,7 @@ InvariantAuditor::tick(Cycle now)
     watchdog(now);
     if (now % config_.interval == 0)
         sweep(now, true);
-    abortIfNew(before, now);
+    applyPolicy(before, now);
 }
 
 void
@@ -566,7 +648,7 @@ InvariantAuditor::onPowerTransition(Cycle now, PowerState, PowerState)
     // Mid-cycle: later controllers have not evaluated their policies yet,
     // so the lost-wakeup check would raise false alarms.
     sweep(now, false);
-    abortIfNew(before, now);
+    applyPolicy(before, now);
 }
 
 }  // namespace nord

@@ -24,8 +24,16 @@
  *     per-flit age bound (livelock), both dumping a full stall diagnosis
  *     before aborting.
  *
- * Violations are recorded with a human-readable diagnosis; kernel-driven
- * sweeps abort on the first violation (configurable), while direct calls
+ * Violations are recorded with a human-readable diagnosis. What a
+ * kernel-driven sweep then does is governed by `verify.policy`:
+ * `kAbort` dumps state and panics on the first *unexpected* violation,
+ * `kDiagnose` prints every new violation and keeps running, and
+ * `kRecover` additionally repairs what it can -- credit deficits that a
+ * FaultInjector announced via expectCreditDeficit() are restored in place
+ * and counted in recoveredFaults(). Injected faults the auditor was told
+ * about (announced leaks, suppressed or dead controllers) are marked
+ * `expected` and never abort the run, so a fault campaign can measure
+ * resilience while the auditor still catches genuine bugs. Direct calls
  * to sweep() only accumulate -- that is what the fault-injection tests
  * use. All inspection goes through cheap const introspection hooks on
  * routers, NIs, links and controllers; with `verify.interval == 0` the
@@ -35,6 +43,8 @@
 #ifndef NORD_VERIFY_INVARIANT_AUDITOR_HH
 #define NORD_VERIFY_INVARIANT_AUDITOR_HH
 
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -70,6 +80,7 @@ class InvariantAuditor : public Clocked
         NodeId node;            ///< primary router involved (-1: global)
         Cycle cycle;            ///< cycle the sweep detected it
         std::string diagnosis;  ///< human-readable description
+        bool expected = false;  ///< attributable to an announced fault
     };
 
     InvariantAuditor(const NocSystem &sys, const VerifyConfig &config);
@@ -101,6 +112,25 @@ class InvariantAuditor : public Clocked
 
     /** True when some recorded violation is of kind @p k. */
     bool hasViolation(Kind k) const;
+
+    /** Recorded violations not attributable to an announced fault. */
+    size_t unexpectedViolations() const;
+
+    /** Injected faults repaired so far (kRecover policy). */
+    std::uint64_t recoveredFaults() const { return recovered_; }
+
+    /**
+     * Give the auditor a mutable handle on the system it watches, enabling
+     * in-place repair under the kRecover policy. Wired by NocSystem.
+     */
+    void setRecoveryTarget(NocSystem *sys) { mutableSys_ = sys; }
+
+    /**
+     * FaultInjector hook: one credit of link (@p node, @p dir), VC @p vc
+     * was deliberately leaked. The matching conservation deficit is marked
+     * expected, and kRecover repairs it.
+     */
+    void expectCreditDeficit(NodeId node, Direction dir, VcId vc);
 
     /** Forget recorded violations (between fault-injection experiments). */
     void clearViolations() { violations_.clear(); }
@@ -134,15 +164,29 @@ class InvariantAuditor : public Clocked
     /** PG states and occupancy along @p flit's minimal route. */
     std::string routeDiagnosis(const Flit &flit, Cycle now) const;
 
-    void report(Kind kind, NodeId node, Cycle now, std::string diagnosis);
+    void report(Kind kind, NodeId node, Cycle now, std::string diagnosis,
+                bool expected = false);
 
-    /** Abort (dump + panic) if a kernel-driven sweep found new violations. */
-    void abortIfNew(size_t before, Cycle now);
+    /** Apply the configured policy to a kernel-driven sweep's findings. */
+    void applyPolicy(size_t before, Cycle now);
+
+    /** Expected-leak key for (node, output direction, VC). */
+    static std::uint64_t leakKey(NodeId node, Direction dir, VcId vc)
+    {
+        return (static_cast<std::uint64_t>(node) << 16) |
+               (static_cast<std::uint64_t>(dirIndex(dir)) << 8) |
+               static_cast<std::uint64_t>(vc);
+    }
 
     const NocSystem &sys_;
+    NocSystem *mutableSys_ = nullptr;  ///< kRecover repair handle
     VerifyConfig config_;
     std::vector<Violation> violations_;
     std::uint64_t sweeps_ = 0;
+
+    // Fault bookkeeping.
+    std::map<std::uint64_t, int> expectedLeaks_;  ///< leakKey -> credits
+    std::uint64_t recovered_ = 0;
 
     // Watchdog state.
     std::uint64_t lastProgress_ = 0;

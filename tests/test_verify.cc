@@ -20,7 +20,7 @@ auditedConfig(PgDesign design)
     NocConfig cfg;
     cfg.design = design;
     cfg.verify.interval = 1;
-    cfg.verify.abortOnViolation = false;  // accumulate, assert in the test
+    cfg.verify.policy = AuditPolicy::kDiagnose;  // accumulate, assert in the test
     return cfg;
 }
 
@@ -106,7 +106,7 @@ TEST(InvariantAuditorTest, DetectsGatingOfNonEmptyRouter)
     ASSERT_NE(victim, kInvalidNode) << "no router ever buffered a flit";
 
     // A buggy sleep policy gates the router without draining it.
-    sys.controller(victim).injectForcedOff();
+    sys.controller(victim).injectForcedOff(sys.now());
     EXPECT_GT(sys.auditor().sweep(sys.now()), 0u);
     ASSERT_TRUE(sys.auditor().hasViolation(Kind::kPgSafety));
     bool victimReported = false;
