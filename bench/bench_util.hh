@@ -13,11 +13,24 @@
 #ifndef NORD_BENCH_BENCH_UTIL_HH
 #define NORD_BENCH_BENCH_UTIL_HH
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#define NORD_BENCH_HAVE_SUPERVISOR 1
+#include <csignal>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+#endif
+
+#include "ckpt/checkpoint.hh"
+#include "ckpt/state_serializer.hh"
 #include "network/noc_system.hh"
 #include "power/area_model.hh"
 #include "power/power_model.hh"
@@ -177,6 +190,161 @@ runCampaign(const PowerModel &pm)
         std::fprintf(stderr, "  [campaign] %s done\n", p.name.c_str());
     }
     return rows;
+}
+
+// --- Resilient campaign running ---------------------------------------------
+
+/**
+ * Drive @p sys to absolute cycle @p target, writing a checkpoint to
+ * @p path every @p every cycles (0 = never). Resumes transparently: when
+ * the system was restored mid-phase, sys.now() already sits past zero and
+ * only the remaining cycles run. @p user is campaign metadata stored in
+ * the checkpoint header.
+ */
+inline void
+runCheckpointed(NocSystem &sys, Cycle target, Cycle every,
+                const std::string &path,
+                const std::array<std::uint64_t, 4> &user = {})
+{
+    while (sys.now() < target) {
+        const Cycle remaining = target - sys.now();
+        sys.run(every > 0 ? std::min(every, remaining) : remaining);
+        if (every > 0 && !path.empty()) {
+            std::string err;
+            if (!sys.saveCheckpoint(path, user, &err))
+                std::fprintf(stderr, "warning: checkpoint write failed: "
+                             "%s\n", err.c_str());
+        }
+    }
+}
+
+/** Supervisor policy for runSupervised(). */
+struct SupervisorOptions
+{
+    /**
+     * Wall-clock seconds without progress (checkpoint file mtime advance
+     * or child exit) before the campaign is declared hung and killed.
+     */
+    double hangTimeoutSec = 300.0;
+
+    /** Restarts after a crash or hang before giving up. */
+    int maxRetries = 3;
+
+    /** Delay before the first restart; doubles per retry. */
+    double backoffSec = 1.0;
+};
+
+/**
+ * Run @p body in a supervised child process (POSIX). The child is
+ * expected to checkpoint periodically to @p heartbeatPath; the file's
+ * mtime is its heartbeat. The parent SIGKILLs a child that stops making
+ * progress for opts.hangTimeoutSec and restarts after a crash or hang --
+ * with exponential backoff, at most opts.maxRetries times -- passing
+ * resume=true so the body restores from the last checkpoint. Returns the
+ * child's exit code (0 = success), or the last failure's code once
+ * retries are exhausted. On platforms without fork() the body runs
+ * inline, unsupervised.
+ *
+ * @param body campaign entry point; receives whether to resume from
+ *        heartbeatPath and returns a process exit code
+ */
+inline int
+runSupervised(const std::string &heartbeatPath,
+              const SupervisorOptions &opts,
+              const std::function<int(bool resume)> &body)
+{
+#if NORD_BENCH_HAVE_SUPERVISOR
+    auto mtime = [](const std::string &p, double *out) {
+        struct stat st;
+        if (stat(p.c_str(), &st) != 0)
+            return false;
+        *out = static_cast<double>(st.st_mtime);
+        return true;
+    };
+    auto wallClock = [] {
+        struct timespec ts;
+        clock_gettime(CLOCK_MONOTONIC, &ts);
+        return static_cast<double>(ts.tv_sec) +
+               static_cast<double>(ts.tv_nsec) * 1e-9;
+    };
+
+    int lastStatus = 1;
+    double backoff = opts.backoffSec;
+    for (int attempt = 0; attempt <= opts.maxRetries; ++attempt) {
+        double heartbeat0 = 0.0;
+        const bool haveCkpt = mtime(heartbeatPath, &heartbeat0);
+        const bool resume = attempt > 0 && haveCkpt;
+        if (attempt > 0) {
+            std::fprintf(stderr,
+                         "[supervisor] restart %d/%d (%s) in %.1fs\n",
+                         attempt, opts.maxRetries,
+                         resume ? "resuming from checkpoint"
+                                : "no checkpoint yet, from scratch",
+                         backoff);
+            struct timespec delay;
+            delay.tv_sec = static_cast<time_t>(backoff);
+            delay.tv_nsec = static_cast<long>(
+                (backoff - static_cast<double>(delay.tv_sec)) * 1e9);
+            nanosleep(&delay, nullptr);
+            backoff *= 2.0;
+        }
+
+        const pid_t pid = fork();
+        if (pid < 0) {
+            std::fprintf(stderr, "[supervisor] fork failed; running "
+                         "inline\n");
+            return body(resume);
+        }
+        if (pid == 0)
+            _exit(body(resume));
+
+        double lastProgress = wallClock();
+        double lastMtime = heartbeat0;
+        bool killedForHang = false;
+        int status = 0;
+        for (;;) {
+            const pid_t done = waitpid(pid, &status, WNOHANG);
+            if (done == pid)
+                break;
+            double m = 0.0;
+            if (mtime(heartbeatPath, &m) && m != lastMtime) {
+                lastMtime = m;
+                lastProgress = wallClock();
+            }
+            if (wallClock() - lastProgress > opts.hangTimeoutSec) {
+                std::fprintf(stderr, "[supervisor] no progress for "
+                             "%.0fs: killing hung campaign\n",
+                             opts.hangTimeoutSec);
+                kill(pid, SIGKILL);
+                waitpid(pid, &status, 0);
+                killedForHang = true;
+                break;
+            }
+            struct timespec poll = {0, 200 * 1000 * 1000};
+            nanosleep(&poll, nullptr);
+        }
+        if (!killedForHang && WIFEXITED(status)) {
+            lastStatus = WEXITSTATUS(status);
+            if (lastStatus == 0)
+                return 0;
+            std::fprintf(stderr, "[supervisor] campaign exited with "
+                         "code %d\n", lastStatus);
+        } else {
+            lastStatus = 1;
+            if (!killedForHang)
+                std::fprintf(stderr, "[supervisor] campaign crashed "
+                             "(signal %d)\n",
+                             WIFSIGNALED(status) ? WTERMSIG(status) : 0);
+        }
+    }
+    std::fprintf(stderr, "[supervisor] giving up after %d retries\n",
+                 opts.maxRetries);
+    return lastStatus;
+#else
+    (void)heartbeatPath;
+    (void)opts;
+    return body(false);
+#endif
 }
 
 /** Print one labeled row of "value (paper: x)" style output. */

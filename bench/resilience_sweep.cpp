@@ -16,9 +16,31 @@
  * the victim's node reachable over the bypass ring (delivered fraction
  * stays 1.0) while the baselines can only eat what routes into the dead
  * router and account the loss.
+ *
+ * The campaign itself is resilient (see DESIGN.md "Checkpoint/restore"):
+ *
+ *   --checkpoint-every=N   checkpoint the campaign every N cycles
+ *   --checkpoint=PATH      checkpoint file (default resilience_sweep.ckpt)
+ *   --resume-from=PATH     restore a killed campaign and continue; the
+ *                          resumed run is bit-exact with an uninterrupted
+ *                          one (identical JSON output)
+ *   --supervise            run under a fork-based supervisor that kills a
+ *                          hung campaign (no checkpoint progress) and
+ *                          restarts from the last checkpoint with
+ *                          exponential backoff
+ *   --hang-timeout=SEC     supervisor hang threshold (default 300)
+ *   --max-retries=N        supervisor restart budget (default 3)
+ *   --out=FILE             write the JSON lines to FILE instead of stdout
+ *   --min-delivered=F      fail (exit 1) when a zero-fault-rate transient
+ *                          run delivers less than this fraction
+ *                          (default 0.99)
  */
 
+#include <array>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -55,32 +77,238 @@ struct SweepResult
     }
 };
 
-SweepResult
-runCampaign(PgDesign design, double rate, NodeId deadRouter, int rows,
-            int cols, Cycle measure, const PowerModel &pm)
+void
+ioSweepResult(StateSerializer &s, SweepResult &r)
 {
-    NocConfig cfg = makeConfig(design, rows, cols);
+    s.io(r.scenario);
+    s.io(r.design);
+    s.io(r.rate);
+    s.io(r.created);
+    s.io(r.delivered);
+    s.io(r.failed);
+    s.io(r.retransmits);
+    s.io(r.recovered);
+    s.io(r.eaten);
+    s.io(r.injectedFaults);
+    s.io(r.drained);
+    s.io(r.avgLatency);
+    s.io(r.p99Latency);
+    s.io(r.offFraction);
+    s.io(r.energyJ);
+}
+
+/** One campaign run in the fixed sweep order. */
+struct RunSpec
+{
+    PgDesign design = PgDesign::kNoPg;
+    double rate = 0.0;
+    NodeId deadRouter = kInvalidNode;
+};
+
+/** Campaign-run phase recorded in a checkpoint. */
+enum : std::uint8_t
+{
+    kPhaseMeasure = 0,   ///< workload attached, injecting
+    kPhaseDrain = 1,     ///< workload detached, recovery finishing
+    kPhaseBoundary = 2,  ///< between runs (no system payload)
+};
+
+struct Options
+{
+    std::string checkpointPath;
+    Cycle checkpointEvery = 0;
+    bool resume = false;
+    bool supervise = false;
+    double hangTimeoutSec = 300.0;
+    int maxRetries = 3;
+    std::string outPath;
+    double minDelivered = 0.99;
+};
+
+/** Checkpointing context threaded through the campaign. */
+struct Ckpt
+{
+    std::string path;
+    Cycle every = 0;
+
+    // Pending restore, consumed by the first run executed after resume.
+    std::unique_ptr<StateSerializer> restore;
+    std::uint8_t restorePhase = kPhaseBoundary;
+    std::uint64_t restoreFingerprint = 0;
+
+    bool enabled() const { return every > 0 && !path.empty(); }
+};
+
+NocConfig
+runConfig(const RunSpec &spec, int rows, int cols)
+{
+    NocConfig cfg = makeConfig(spec.design, rows, cols);
     cfg.fault.enabled = true;
     cfg.fault.e2e = true;
-    cfg.fault.flitCorruptRate = rate;
-    cfg.fault.flitDropRate = rate;
+    cfg.fault.flitCorruptRate = spec.rate;
+    cfg.fault.flitDropRate = spec.rate;
     cfg.verify.interval = 256;
     cfg.verify.policy = AuditPolicy::kRecover;
+    return cfg;
+}
 
+/**
+ * Checkpoint the whole campaign: completed results, the index and phase
+ * of the in-flight run, then the full network state. @p sys is null for
+ * run-boundary checkpoints (no system is alive between runs).
+ */
+void
+writeCampaignCheckpoint(const Ckpt &ck, NocSystem *sys,
+                        std::vector<SweepResult> &results,
+                        std::uint64_t runIndex, std::uint8_t phase)
+{
+    StateSerializer s(SerialMode::kSave);
+    s.section(StateSerializer::tag4("CAMP"));
+    s.io(runIndex);
+    s.io(phase);
+    s.ioSequence(results, [&s](SweepResult &r) { ioSweepResult(s, r); });
+    if (phase != kPhaseBoundary)
+        sys->saveState(s);
+    if (!s.ok()) {
+        std::fprintf(stderr, "warning: checkpoint serialization failed: "
+                     "%s\n", s.error().c_str());
+        return;
+    }
+    CheckpointMeta meta;
+    meta.version = kCheckpointVersion;
+    meta.configFingerprint =
+        phase != kPhaseBoundary ? sys->configFingerprint() : 0;
+    meta.cycle = phase != kPhaseBoundary ? sys->now() : 0;
+    meta.user = {runIndex, phase, 0, 0};
+    std::string err;
+    if (!writeCheckpointFile(ck.path, meta, s.buffer(), &err))
+        std::fprintf(stderr, "warning: checkpoint write failed: %s\n",
+                     err.c_str());
+}
+
+/**
+ * Read a campaign checkpoint: refill @p results, return the in-flight run
+ * index and leave the system payload pending in @p ck for that run to
+ * consume. Returns false (campaign starts from scratch) when the file is
+ * unreadable.
+ */
+bool
+readCampaignCheckpoint(Ckpt &ck, const std::string &path,
+                       std::vector<SweepResult> &results,
+                       std::uint64_t *runIndex)
+{
+    CheckpointMeta meta;
+    std::vector<std::uint8_t> payload;
+    std::string err;
+    if (!readCheckpointFile(path, &meta, &payload, &err)) {
+        std::fprintf(stderr, "cannot resume from %s: %s\n", path.c_str(),
+                     err.c_str());
+        return false;
+    }
+    auto s = std::make_unique<StateSerializer>(std::move(payload));
+    s->section(StateSerializer::tag4("CAMP"));
+    std::uint64_t idx = 0;
+    std::uint8_t phase = kPhaseBoundary;
+    s->io(idx);
+    s->io(phase);
+    s->ioSequence(results, [&s](SweepResult &r) { ioSweepResult(*s, r); });
+    if (!s->ok()) {
+        std::fprintf(stderr, "cannot resume from %s: %s\n", path.c_str(),
+                     s->error().c_str());
+        results.clear();
+        return false;
+    }
+    *runIndex = idx;
+    if (phase != kPhaseBoundary) {
+        ck.restore = std::move(s);
+        ck.restorePhase = phase;
+        ck.restoreFingerprint = meta.configFingerprint;
+    }
+    std::fprintf(stderr,
+                 "[resume] %zu completed runs, continuing run %llu "
+                 "(%s phase) from cycle %llu\n",
+                 results.size(), static_cast<unsigned long long>(idx),
+                 phase == kPhaseMeasure ? "measure"
+                 : phase == kPhaseDrain ? "drain" : "boundary",
+                 static_cast<unsigned long long>(meta.cycle));
+    return true;
+}
+
+SweepResult
+runCampaign(const RunSpec &spec, int rows, int cols, Cycle measure,
+            const PowerModel &pm, Ckpt &ck,
+            std::vector<SweepResult> &results, std::uint64_t runIndex)
+{
+    const NocConfig cfg = runConfig(spec, rows, cols);
     NocSystem sys(cfg);
-    if (deadRouter != kInvalidNode)
-        sys.killRouter(deadRouter);
-
     SyntheticTraffic traffic(TrafficPattern::kUniformRandom, 0.10, 1);
-    sys.setWorkload(&traffic);
-    sys.run(measure);
-    sys.setWorkload(nullptr);  // stop injecting, let recovery finish
+
+    std::uint8_t phase = kPhaseMeasure;
+    if (ck.restore) {
+        // Resume the interrupted run: the snapshot already contains every
+        // side effect (killed router, injected faults, auditor history),
+        // so the system is rebuilt bare and overwritten wholesale.
+        phase = ck.restorePhase;
+        if (ck.restoreFingerprint != sys.configFingerprint()) {
+            std::fprintf(stderr, "fatal: checkpoint configuration "
+                         "fingerprint mismatch (campaign code or config "
+                         "changed since the checkpoint was written)\n");
+            std::exit(2);
+        }
+        if (phase == kPhaseMeasure)
+            sys.setWorkload(&traffic);
+        std::unique_ptr<StateSerializer> s = std::move(ck.restore);
+        sys.loadState(*s);
+        if (!s->ok() || !s->exhausted()) {
+            std::fprintf(stderr, "fatal: checkpoint restore failed: %s\n",
+                         s->ok() ? "trailing bytes" : s->error().c_str());
+            std::exit(2);
+        }
+    } else {
+        if (spec.deadRouter != kInvalidNode)
+            sys.killRouter(spec.deadRouter);
+        sys.setWorkload(&traffic);
+    }
+
+    if (phase == kPhaseMeasure) {
+        while (sys.now() < measure) {
+            const Cycle remaining = measure - sys.now();
+            sys.run(ck.every > 0 ? std::min(ck.every, remaining)
+                                 : remaining);
+            if (ck.enabled())
+                writeCampaignCheckpoint(ck, &sys, results, runIndex,
+                                        kPhaseMeasure);
+        }
+        sys.setWorkload(nullptr);  // stop injecting, let recovery finish
+        phase = kPhaseDrain;
+        if (ck.enabled())
+            writeCampaignCheckpoint(ck, &sys, results, runIndex,
+                                    kPhaseDrain);
+    }
 
     SweepResult r;
-    r.scenario = deadRouter != kInvalidNode ? "dead-router" : "transient";
-    r.design = design;
-    r.rate = rate;
-    r.drained = sys.runToCompletion(measure + 500000);
+    r.scenario =
+        spec.deadRouter != kInvalidNode ? "dead-router" : "transient";
+    r.design = spec.design;
+    r.rate = spec.rate;
+
+    // Drain with the same total budget an uninterrupted
+    // runToCompletion(measure + 500000) would get; the completion
+    // predicate is evaluated every cycle either way, so chunking changes
+    // nothing.
+    const Cycle limit = measure + (measure + 500000);
+    bool done = sys.completionReached();
+    while (!done && sys.now() < limit) {
+        const Cycle remaining = limit - sys.now();
+        done = sys.runTowardCompletion(
+            ck.every > 0 ? std::min(ck.every, remaining) : remaining);
+        if (ck.enabled() && !done)
+            writeCampaignCheckpoint(ck, &sys, results, runIndex,
+                                    kPhaseDrain);
+    }
+    r.drained = done;
+    sys.finalizeStats();
+
     const RunResult run = summarize(sys, pm);
     const NetworkStats &st = sys.stats();
     const FlowStats flows = st.flowTotals();
@@ -99,9 +327,10 @@ runCampaign(PgDesign design, double rate, NodeId deadRouter, int rows,
 }
 
 void
-emitJson(const SweepResult &r, double energyBaselineJ)
+emitJson(std::FILE *out, const SweepResult &r, double energyBaselineJ)
 {
-    std::printf(
+    std::fprintf(
+        out,
         "{\"scenario\":\"%s\",\"design\":\"%s\",\"faultRate\":%g,"
         "\"created\":%llu,\"delivered\":%llu,\"failed\":%llu,"
         "\"deliveredFraction\":%.6f,\"retransmits\":%llu,"
@@ -121,10 +350,48 @@ emitJson(const SweepResult &r, double energyBaselineJ)
         energyBaselineJ > 0 ? r.energyJ / energyBaselineJ : 1.0);
 }
 
-}  // namespace
+bool
+parseArgs(int argc, char **argv, Options *opt)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&arg](const char *flag) -> const char * {
+            const size_t n = std::strlen(flag);
+            if (arg.compare(0, n, flag) == 0 && arg.size() > n &&
+                arg[n] == '=')
+                return arg.c_str() + n + 1;
+            return nullptr;
+        };
+        if (const char *v = value("--checkpoint-every")) {
+            opt->checkpointEvery = static_cast<Cycle>(std::atoll(v));
+        } else if (const char *v = value("--checkpoint")) {
+            opt->checkpointPath = v;
+        } else if (const char *v = value("--resume-from")) {
+            opt->checkpointPath = v;
+            opt->resume = true;
+        } else if (arg == "--supervise") {
+            opt->supervise = true;
+        } else if (const char *v = value("--hang-timeout")) {
+            opt->hangTimeoutSec = std::atof(v);
+        } else if (const char *v = value("--max-retries")) {
+            opt->maxRetries = std::atoi(v);
+        } else if (const char *v = value("--out")) {
+            opt->outPath = v;
+        } else if (const char *v = value("--min-delivered")) {
+            opt->minDelivered = std::atof(v);
+        } else {
+            std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+            return false;
+        }
+    }
+    if ((opt->checkpointEvery > 0 || opt->resume) &&
+        opt->checkpointPath.empty())
+        opt->checkpointPath = "resilience_sweep.ckpt";
+    return true;
+}
 
 int
-main()
+runWholeCampaign(const Options &opt, bool resume)
 {
     const bool quick = quickMode();
     const int rows = quick ? 4 : 8;
@@ -132,34 +399,66 @@ main()
     const Cycle measure = quick ? 2000 : 5000;
     const NodeId center =
         static_cast<NodeId>((rows / 2) * cols + cols / 2);
-    std::vector<double> rates = quick
+    const std::vector<double> rates = quick
         ? std::vector<double>{0.0, 1e-4}
         : std::vector<double>{0.0, 1e-5, 1e-4, 1e-3};
 
+    // The fixed run order a checkpoint's run index refers to.
+    std::vector<RunSpec> specs;
+    for (int d = 0; d < 4; ++d) {
+        for (double rate : rates)
+            specs.push_back({static_cast<PgDesign>(d), rate,
+                             kInvalidNode});
+        // Permanently dead center router, no transients on top.
+        specs.push_back({static_cast<PgDesign>(d), 0.0, center});
+    }
+
+    Ckpt ck;
+    ck.path = opt.checkpointPath;
+    ck.every = opt.checkpointEvery;
+
     PowerModel pm;
     std::vector<SweepResult> results;
+    std::uint64_t startRun = 0;
+    if (resume && !opt.checkpointPath.empty())
+        readCampaignCheckpoint(ck, opt.checkpointPath, results,
+                               &startRun);
 
     std::fprintf(stderr,
                  "=== Resilience sweep: %dx%d mesh, %llu cycles/run ===\n",
                  rows, cols, static_cast<unsigned long long>(measure));
-    for (int d = 0; d < 4; ++d) {
-        const PgDesign design = static_cast<PgDesign>(d);
-        double baselineJ = 0.0;
-        for (double rate : rates) {
-            SweepResult r = runCampaign(design, rate, kInvalidNode, rows,
-                                        cols, measure, pm);
-            if (rate == 0.0)
-                baselineJ = r.energyJ;
-            emitJson(r, baselineJ);
-            results.push_back(r);
-        }
-        // Permanently dead center router, no transients on top.
-        SweepResult r = runCampaign(design, 0.0, center, rows, cols,
-                                    measure, pm);
-        emitJson(r, baselineJ);
-        results.push_back(r);
-        std::fprintf(stderr, "  [sweep] %s done\n", pgDesignName(design));
+    for (std::uint64_t i = startRun; i < specs.size(); ++i) {
+        SweepResult r = runCampaign(specs[i], rows, cols, measure, pm, ck,
+                                    results, i);
+        results.push_back(std::move(r));
+        if (ck.enabled())
+            writeCampaignCheckpoint(ck, nullptr, results, i + 1,
+                                    kPhaseBoundary);
+        if (specs[i].deadRouter != kInvalidNode)
+            std::fprintf(stderr, "  [sweep] %s done\n",
+                         pgDesignName(specs[i].design));
     }
+
+    // Emit the JSON lines in run order, with each design's energy
+    // overhead normalized to its own zero-rate transient run.
+    std::FILE *out = stdout;
+    if (!opt.outPath.empty()) {
+        out = std::fopen(opt.outPath.c_str(), "w");
+        if (!out) {
+            std::fprintf(stderr, "cannot open %s for writing\n",
+                         opt.outPath.c_str());
+            return 2;
+        }
+    }
+    double baselineJ[4] = {0, 0, 0, 0};
+    for (const SweepResult &r : results) {
+        if (r.scenario == "transient" && r.rate == 0.0)
+            baselineJ[static_cast<int>(r.design)] = r.energyJ;
+    }
+    for (const SweepResult &r : results)
+        emitJson(out, r, baselineJ[static_cast<int>(r.design)]);
+    if (out != stdout)
+        std::fclose(out);
 
     std::fprintf(stderr, "\n%-12s %-12s %9s %10s %9s %9s\n", "design",
                  "scenario", "rate", "delivered", "p99", "retrans");
@@ -169,5 +468,47 @@ main()
                      100.0 * r.deliveredFraction(), r.p99Latency,
                      static_cast<unsigned long long>(r.retransmits));
     }
-    return 0;
+
+    // Delivery gate: a fault-free run that loses packets is a regression,
+    // not noise -- fail loudly so CI catches it.
+    int exitCode = 0;
+    for (const SweepResult &r : results) {
+        if (r.scenario != "transient" || r.rate != 0.0)
+            continue;
+        if (r.deliveredFraction() < opt.minDelivered) {
+            std::fprintf(stderr,
+                         "FAIL: %s delivered %.4f < --min-delivered "
+                         "%.4f at fault rate 0\n",
+                         pgDesignName(r.design), r.deliveredFraction(),
+                         opt.minDelivered);
+            exitCode = 1;
+        }
+    }
+    return exitCode;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parseArgs(argc, argv, &opt))
+        return 2;
+
+    if (opt.supervise) {
+        if (opt.checkpointPath.empty())
+            opt.checkpointPath = "resilience_sweep.ckpt";
+        if (opt.checkpointEvery == 0)
+            opt.checkpointEvery = 1000;
+        SupervisorOptions sup;
+        sup.hangTimeoutSec = opt.hangTimeoutSec;
+        sup.maxRetries = opt.maxRetries;
+        return runSupervised(opt.checkpointPath, sup,
+                             [&opt](bool resume) {
+                                 return runWholeCampaign(
+                                     opt, resume || opt.resume);
+                             });
+    }
+    return runWholeCampaign(opt, opt.resume);
 }

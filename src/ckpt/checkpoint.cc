@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Checkpoint container implementation.
+ */
+
+#include "ckpt/checkpoint.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "ckpt/state_serializer.hh"
+#include "common/log.hh"
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace nord {
+
+namespace {
+
+void
+setErr(std::string *err, std::string what)
+{
+    if (err)
+        *err = std::move(what);
+}
+
+bool
+writeAll(std::FILE *f, const void *p, std::size_t n)
+{
+    return std::fwrite(p, 1, n, f) == n;
+}
+
+bool
+readAll(std::FILE *f, void *p, std::size_t n)
+{
+    return std::fread(p, 1, n, f) == n;
+}
+
+}  // namespace
+
+std::uint64_t
+fnv1a(const std::vector<std::uint8_t> &bytes)
+{
+    std::uint64_t h = StateSerializer::kFnvOffset;
+    for (std::uint8_t b : bytes) {
+        h ^= b;
+        h *= StateSerializer::kFnvPrime;
+    }
+    return h;
+}
+
+bool
+writeCheckpointFile(const std::string &path, const CheckpointMeta &meta,
+                    const std::vector<std::uint8_t> &payload,
+                    std::string *err)
+{
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f) {
+        setErr(err, detail::formatString("cannot open %s: %s", tmp.c_str(),
+                                         std::strerror(errno)));
+        return false;
+    }
+    const std::uint64_t paySize = payload.size();
+    const std::uint64_t payHash = fnv1a(payload);
+    bool ok = writeAll(f, &kCheckpointMagic, sizeof(kCheckpointMagic)) &&
+              writeAll(f, &meta.version, sizeof(meta.version)) &&
+              writeAll(f, &meta.configFingerprint,
+                       sizeof(meta.configFingerprint)) &&
+              writeAll(f, &meta.cycle, sizeof(meta.cycle)) &&
+              writeAll(f, meta.user.data(),
+                       sizeof(std::uint64_t) * meta.user.size()) &&
+              writeAll(f, &paySize, sizeof(paySize)) &&
+              writeAll(f, &payHash, sizeof(payHash)) &&
+              (payload.empty() ||
+               writeAll(f, payload.data(), payload.size()));
+    ok = (std::fflush(f) == 0) && ok;
+#ifndef _WIN32
+    // Make the rename durable: the data must hit the disk before the new
+    // name does, or a crash could leave a valid-looking empty file.
+    ok = (fsync(fileno(f)) == 0) && ok;
+#endif
+    ok = (std::fclose(f) == 0) && ok;
+    if (!ok) {
+        setErr(err, detail::formatString("short write to %s", tmp.c_str()));
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        setErr(err, detail::formatString("rename %s -> %s failed: %s",
+                                         tmp.c_str(), path.c_str(),
+                                         std::strerror(errno)));
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+readCheckpointFile(const std::string &path, CheckpointMeta *meta,
+                   std::vector<std::uint8_t> *payload, std::string *err)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        setErr(err, detail::formatString("cannot open %s: %s", path.c_str(),
+                                         std::strerror(errno)));
+        return false;
+    }
+    std::uint32_t magic = 0;
+    CheckpointMeta m;
+    std::uint64_t paySize = 0;
+    std::uint64_t payHash = 0;
+    bool ok = readAll(f, &magic, sizeof(magic)) &&
+              readAll(f, &m.version, sizeof(m.version)) &&
+              readAll(f, &m.configFingerprint,
+                      sizeof(m.configFingerprint)) &&
+              readAll(f, &m.cycle, sizeof(m.cycle)) &&
+              readAll(f, m.user.data(),
+                      sizeof(std::uint64_t) * m.user.size()) &&
+              readAll(f, &paySize, sizeof(paySize)) &&
+              readAll(f, &payHash, sizeof(payHash));
+    if (!ok) {
+        std::fclose(f);
+        setErr(err, detail::formatString("truncated checkpoint header in %s",
+                                         path.c_str()));
+        return false;
+    }
+    if (magic != kCheckpointMagic) {
+        std::fclose(f);
+        setErr(err, detail::formatString("%s is not a checkpoint "
+                                         "(magic %08x)",
+                                         path.c_str(), magic));
+        return false;
+    }
+    if (m.version != kCheckpointVersion) {
+        std::fclose(f);
+        setErr(err, detail::formatString(
+                        "checkpoint version mismatch in %s: file has v%u, "
+                        "this build reads v%u",
+                        path.c_str(), m.version, kCheckpointVersion));
+        return false;
+    }
+    std::vector<std::uint8_t> body(static_cast<std::size_t>(paySize));
+    if (!body.empty() && !readAll(f, body.data(), body.size())) {
+        std::fclose(f);
+        setErr(err, detail::formatString("truncated checkpoint payload in "
+                                         "%s (expected %llu bytes)",
+                                         path.c_str(),
+                                         static_cast<unsigned long long>(
+                                             paySize)));
+        return false;
+    }
+    std::fclose(f);
+    if (fnv1a(body) != payHash) {
+        setErr(err, detail::formatString("checkpoint payload hash mismatch "
+                                         "in %s (file corrupt)",
+                                         path.c_str()));
+        return false;
+    }
+    if (meta)
+        *meta = m;
+    if (payload)
+        *payload = std::move(body);
+    return true;
+}
+
+}  // namespace nord

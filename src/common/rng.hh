@@ -10,6 +10,7 @@
 #ifndef NORD_COMMON_RNG_HH
 #define NORD_COMMON_RNG_HH
 
+#include <array>
 #include <cstdint>
 
 namespace nord {
@@ -68,6 +69,20 @@ class Rng
      * Returns 0 when mean <= 0.
      */
     std::uint64_t geometric(double mean);
+
+    // --- Checkpointing ------------------------------------------------------
+    /** Raw engine state, for checkpoint save. */
+    std::array<std::uint64_t, 4> rawState() const
+    {
+        return {s_[0], s_[1], s_[2], s_[3]};
+    }
+
+    /** Restore a raw engine state captured by rawState(). */
+    void setRawState(const std::array<std::uint64_t, 4> &s)
+    {
+        for (int i = 0; i < 4; ++i)
+            s_[i] = s[i];
+    }
 
   private:
     std::uint64_t s_[4];

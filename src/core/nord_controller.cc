@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "ckpt/state_serializer.hh"
 #include "ni/network_interface.hh"
 #include "router/router.hh"
 
@@ -70,6 +71,18 @@ NordController::policy(Cycle now)
       case PowerState::kWakingUp:
         break;
     }
+}
+
+void
+NordController::serializeState(StateSerializer &s)
+{
+    PgController::serializeState(s);
+    s.section(StateSerializer::tag4("NRDC"));
+    s.ioSequence(window_);
+    std::uint64_t pos = windowPos_;
+    s.io(pos);
+    windowPos_ = static_cast<size_t>(pos);
+    s.io(windowSum_);
 }
 
 void

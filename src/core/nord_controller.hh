@@ -51,6 +51,9 @@ class NordController : public PgController
     /** Current VC requests summed over the window (for tests). */
     int windowSum() const;
 
+    /** Checkpoint hook: base FSM plus the sliding VC-request window. */
+    void serializeState(StateSerializer &s) override;
+
   protected:
     void policy(Cycle now) override;
 

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "ckpt/state_serializer.hh"
 #include "common/log.hh"
 
 namespace nord {
@@ -263,6 +264,40 @@ E2eEndpoint::pendingSends() const
         count += flow.pending.size();
     }
     return count;
+}
+
+void
+E2eEndpoint::serializeState(StateSerializer &s)
+{
+    s.section(StateSerializer::tag4("E2E "));
+    s.ioMap(tx_, [&s](TxFlow &f) {
+        s.io(f.nextSeq);
+        s.ioMap(f.pending, [&s](TxEntry &e) {
+            s.io(e.desc);
+            s.io(e.firstSent);
+            s.io(e.deadline);
+            s.io(e.retries);
+            s.io(e.retransmitted);
+        });
+    });
+    s.ioMap(rx_, [&s](RxFlow &f) {
+        s.io(f.expected);
+        s.ioMap(f.reorder);
+    });
+    s.ioUnorderedMap(inFlightRx_, [&s](RxPacketState &p) {
+        s.io(p.headUnparseable);
+        s.io(p.damaged);
+    });
+    s.ioSequence(ackQueue_, [&s](AckItem &a) {
+        s.io(a.dst);
+        s.io(a.ackSeq);
+        s.io(a.nackSeq);
+        s.io(a.due);
+    });
+    s.ioSequence(nackResends_, [&s](Resend &r) {
+        s.io(r.desc);
+        s.io(r.seq);
+    });
 }
 
 }  // namespace nord

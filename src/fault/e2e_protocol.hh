@@ -37,6 +37,8 @@
 
 namespace nord {
 
+class StateSerializer;
+
 /**
  * Per-node endpoint of the end-to-end reliability protocol.
  */
@@ -95,6 +97,12 @@ class E2eEndpoint
 
     /** Unacked data packets currently awaiting ACK or retransmission. */
     size_t pendingSends() const;
+
+    /**
+     * Checkpoint hook: retransmission buffers, flow sequence state,
+     * receiver reorder/dedup tracking and pending ACK/NACK queues.
+     */
+    void serializeState(StateSerializer &s);
 
   private:
     /** One unacked packet in the retransmission buffer. */

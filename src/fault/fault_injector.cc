@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "ckpt/state_serializer.hh"
 #include "common/log.hh"
 #include "network/noc_system.hh"
 #include "verify/invariant_auditor.hh"
@@ -113,6 +114,22 @@ FaultInjector::tick(Cycle now)
 {
     dispatchScheduled(now);
     injectTransients(now);
+}
+
+void
+FaultInjector::serializeState(StateSerializer &s)
+{
+    s.section(StateSerializer::tag4("FINJ"));
+    s.io(rng_);
+    std::uint64_t idx = scheduleIdx_;
+    s.io(idx);
+    scheduleIdx_ = static_cast<size_t>(idx);
+    s.io(counts_.corrupt);
+    s.io(counts_.drop);
+    s.io(counts_.creditLeak);
+    s.io(counts_.lostWakeup);
+    s.io(counts_.stuck);
+    s.io(counts_.dead);
 }
 
 }  // namespace nord

@@ -34,6 +34,7 @@ namespace nord {
 
 class NocSystem;
 class InvariantAuditor;
+class StateSerializer;
 struct NocConfig;
 
 /**
@@ -69,6 +70,13 @@ class FaultInjector : public Clocked
 
     /** Faults injected so far. */
     const Counts &counts() const { return counts_; }
+
+    /**
+     * Checkpoint hook: RNG position, schedule cursor and tallies. The
+     * schedule itself is rebuilt from config at construction and therefore
+     * not serialized.
+     */
+    void serializeState(StateSerializer &s);
 
   private:
     void dispatchScheduled(Cycle now);

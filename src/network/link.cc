@@ -5,6 +5,7 @@
 
 #include "network/link.hh"
 
+#include "ckpt/state_serializer.hh"
 #include "common/log.hh"
 #include "router/router.hh"
 
@@ -80,6 +81,17 @@ FlitLink::injectTransientFault(bool destroyFraming, std::uint64_t xorMask)
     return true;
 }
 
+void
+FlitLink::serializeState(StateSerializer &s)
+{
+    s.section(StateSerializer::tag4("FLNK"));
+    s.ioSequence(queue_, [&s](Entry &e) {
+        s.io(e.flit);
+        s.io(e.due);
+    });
+    s.io(traversals_);
+}
+
 std::string
 FlitLink::name() const
 {
@@ -118,6 +130,16 @@ CreditLink::inFlightForVc(VcId vc) const
             ++count;
     }
     return count;
+}
+
+void
+CreditLink::serializeState(StateSerializer &s)
+{
+    s.section(StateSerializer::tag4("CLNK"));
+    s.ioSequence(queue_, [&s](Entry &e) {
+        s.io(e.vc);
+        s.io(e.due);
+    });
 }
 
 std::string

@@ -23,6 +23,7 @@
 namespace nord {
 
 class Router;
+class StateSerializer;
 
 /**
  * Delay line carrying flits from an upstream router/NI to a downstream
@@ -87,6 +88,9 @@ class FlitLink : public Clocked
      */
     bool injectTransientFault(bool destroyFraming, std::uint64_t xorMask);
 
+    /** Checkpoint hook: in-flight flits and the traversal counter. */
+    void serializeState(StateSerializer &s);
+
     std::string name() const override;
 
   private:
@@ -133,6 +137,9 @@ class CreditLink : public Clocked
 
     /** Number of in-flight credits for VC @p vc. */
     int inFlightForVc(VcId vc) const;
+
+    /** Checkpoint hook: in-flight credits. */
+    void serializeState(StateSerializer &s);
 
     std::string name() const override;
 

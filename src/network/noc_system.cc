@@ -9,6 +9,8 @@
 #include <cstdio>
 #include <map>
 
+#include "ckpt/checkpoint.hh"
+#include "ckpt/state_serializer.hh"
 #include "common/log.hh"
 #include "core/nord_controller.hh"
 
@@ -253,13 +255,16 @@ NocSystem::run(Cycle cycles)
 }
 
 bool
+NocSystem::runTowardCompletion(Cycle maxCycles)
+{
+    return kernel_.runUntil([this] { return completionReached(); },
+                            maxCycles);
+}
+
+bool
 NocSystem::runToCompletion(Cycle maxCycles)
 {
-    bool ok = kernel_.runUntil(
-        [this] {
-            return (!workload_ || workload_->done()) && drained();
-        },
-        maxCycles);
+    bool ok = runTowardCompletion(maxCycles);
     finalizeStats();
     return ok;
 }
@@ -391,6 +396,164 @@ void
 NocSystem::finalizeStats()
 {
     stats_.finalize(kernel_.now());
+}
+
+void
+NocSystem::serializeState(StateSerializer &s)
+{
+    s.section(StateSerializer::tag4("SYS "));
+    kernel_.serializeState(s);
+    stats_.serializeState(s);
+    for (auto &r : routers_)
+        r->serializeState(s);
+    for (auto &ni : nis_)
+        ni->serializeState(s);
+    for (auto &l : flitLinks_)
+        l->serializeState(s);
+    for (auto &l : creditLinks_)
+        l->serializeState(s);
+    for (auto &c : controllers_)
+        c->serializeState(s);
+    auditor_->serializeState(s);
+    bool hasInjector = injector_ != nullptr;
+    s.io(hasInjector);
+    if (s.loading() && hasInjector != (injector_ != nullptr)) {
+        s.fail("checkpoint and system disagree on fault injector "
+               "presence");
+        return;
+    }
+    if (injector_)
+        injector_->serializeState(s);
+    bool hasWorkload = workload_ != nullptr;
+    s.io(hasWorkload);
+    if (s.loading() && hasWorkload != (workload_ != nullptr)) {
+        s.fail("checkpoint and system disagree on workload presence");
+        return;
+    }
+    if (workload_)
+        workload_->serializeState(s);
+}
+
+std::uint64_t
+NocSystem::stateHash() const
+{
+    StateSerializer s(SerialMode::kHash);
+    // The hash walk reads every field without mutating anything; the
+    // const_cast only satisfies the shared save/load/hash signature.
+    const_cast<NocSystem *>(this)->serializeState(s);
+    return s.hash();
+}
+
+std::uint64_t
+NocSystem::configFingerprint() const
+{
+    StateSerializer s(SerialMode::kHash);
+    NocConfig c = config_;
+    s.io(c.rows);
+    s.io(c.cols);
+    s.io(c.numVcs);
+    s.io(c.numEscapeVcs);
+    s.io(c.bufferDepth);
+    s.io(c.design);
+    s.io(c.wakeupLatency);
+    s.io(c.betCycles);
+    s.io(c.convOptSleepGuard);
+    s.io(c.earlyWakeupHide);
+    s.io(c.nordWakeupWindow);
+    s.io(c.nordPerfThreshold);
+    s.io(c.nordPowerThreshold);
+    s.io(c.nordPerfCentricCount);
+    s.io(c.nordMisrouteCap);
+    s.io(c.nordPowerSleepGuard);
+    s.io(c.nordPerfSleepGuard);
+    s.io(c.niStarvationLimit);
+    s.io(c.nordAggressiveBypass);
+    s.io(c.escapeAfterBlockedCycles);
+    s.io(c.seed);
+    s.io(c.statsWarmup);
+    s.io(c.verify.interval);
+    s.io(c.verify.sweepOnTransition);
+    s.io(c.verify.policy);
+    s.io(c.verify.stallThreshold);
+    s.io(c.verify.maxFlitAge);
+    FaultConfig &f = c.fault;
+    s.io(f.enabled);
+    s.io(f.flitCorruptRate);
+    s.io(f.flitDropRate);
+    s.io(f.creditLeakRate);
+    s.io(f.lostWakeupRate);
+    s.io(f.lostWakeupStall);
+    s.ioSequence(f.schedule, [&s](FaultEvent &e) {
+        s.io(e.at);
+        s.io(e.cls);
+        s.io(e.node);
+        s.io(e.duration);
+    });
+    s.io(f.e2e);
+    s.io(f.retransTimeout);
+    s.io(f.retransBackoff);
+    s.io(f.retryLimit);
+    s.io(f.ackCoalesce);
+    s.io(f.wakeupWatchdog);
+    return s.hash();
+}
+
+bool
+NocSystem::saveCheckpoint(const std::string &path,
+                          const std::array<std::uint64_t, 4> &user,
+                          std::string *err)
+{
+    StateSerializer s(SerialMode::kSave);
+    serializeState(s);
+    if (!s.ok()) {
+        if (err)
+            *err = s.error();
+        return false;
+    }
+    CheckpointMeta meta;
+    meta.version = kCheckpointVersion;
+    meta.configFingerprint = configFingerprint();
+    meta.cycle = kernel_.now();
+    meta.user = user;
+    return writeCheckpointFile(path, meta, s.buffer(), err);
+}
+
+bool
+NocSystem::loadCheckpoint(const std::string &path,
+                          std::array<std::uint64_t, 4> *user,
+                          std::string *err)
+{
+    CheckpointMeta meta;
+    std::vector<std::uint8_t> payload;
+    if (!readCheckpointFile(path, &meta, &payload, err))
+        return false;
+    if (meta.configFingerprint != configFingerprint()) {
+        if (err)
+            *err = "checkpoint configuration fingerprint mismatch "
+                   "(different topology/design/seed/fault settings)";
+        return false;
+    }
+    StateSerializer s(std::move(payload));
+    serializeState(s);
+    if (!s.ok()) {
+        if (err)
+            *err = s.error();
+        return false;
+    }
+    if (!s.exhausted()) {
+        if (err)
+            *err = "checkpoint payload has trailing bytes (format drift)";
+        return false;
+    }
+    if (meta.cycle != kernel_.now()) {
+        if (err)
+            *err = "checkpoint header cycle disagrees with restored "
+                   "kernel clock";
+        return false;
+    }
+    if (user)
+        *user = meta.user;
+    return true;
 }
 
 }  // namespace nord

@@ -21,8 +21,10 @@
 #ifndef NORD_NETWORK_NOC_SYSTEM_HH
 #define NORD_NETWORK_NOC_SYSTEM_HH
 
+#include <array>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/types.hh"
@@ -42,6 +44,8 @@
 #include "verify/invariant_auditor.hh"
 
 namespace nord {
+
+class StateSerializer;
 
 /**
  * One fully-wired simulated network.
@@ -66,6 +70,21 @@ class NocSystem
      * @p maxCycles elapse. Returns true on clean completion.
      */
     bool runToCompletion(Cycle maxCycles);
+
+    /**
+     * Chunked/checkpointed equivalent of runToCompletion(): advance at
+     * most @p maxCycles further, stopping the cycle completion is
+     * reached, WITHOUT finalizing statistics. The completion predicate is
+     * evaluated after every cycle, so splitting one runToCompletion()
+     * budget across several calls stops at the identical cycle.
+     */
+    bool runTowardCompletion(Cycle maxCycles);
+
+    /** True when the workload (if any) is done and the network drained. */
+    bool completionReached() const
+    {
+        return (!workload_ || workload_->done()) && drained();
+    }
 
     /** Current simulation cycle. */
     Cycle now() const { return kernel_.now(); }
@@ -129,6 +148,58 @@ class NocSystem
      * state. Panics with a description on violation.
      */
     void checkInvariants() const;
+
+    // --- Checkpoint / restore -------------------------------------------
+
+    /**
+     * Walk every component's serializeState hook in a fixed order:
+     * kernel, stats, routers, NIs, flit links, credit links, controllers,
+     * auditor, injector, workload. One function serves save, load and
+     * hash, so the three walks can never disagree on field order.
+     */
+    void serializeState(StateSerializer &s);
+
+    /** Save the complete dynamic state into @p s (kSave mode). */
+    void saveState(StateSerializer &s) { serializeState(s); }
+
+    /** Restore the complete dynamic state from @p s (kLoad mode). */
+    void loadState(StateSerializer &s) { serializeState(s); }
+
+    /**
+     * FNV-1a hash over the complete dynamic network state. Two runs of
+     * the same configuration are bit-exact iff their per-cycle hashes
+     * agree; divergence after a restore pinpoints the first broken
+     * component hook.
+     */
+    std::uint64_t stateHash() const;
+
+    /**
+     * FNV-1a hash over every configuration field (topology, design,
+     * verify and fault settings, seed). A checkpoint only restores into a
+     * system built from the identical configuration.
+     */
+    std::uint64_t configFingerprint() const;
+
+    /**
+     * Write a checkpoint of the full dynamic state to @p path (atomic:
+     * temp file + rename). @p user carries caller metadata (e.g. campaign
+     * progress) restored verbatim by loadCheckpoint().
+     * Returns false with *err set on failure.
+     */
+    bool saveCheckpoint(const std::string &path,
+                        const std::array<std::uint64_t, 4> &user = {},
+                        std::string *err = nullptr);
+
+    /**
+     * Restore the full dynamic state from @p path. Rejects checkpoints
+     * with a different format version or configuration fingerprint and
+     * never panics on corrupt input -- the caller can fall back to an
+     * older checkpoint. Returns false with *err set on failure; the
+     * system state is unspecified after a failed load (rebuild it).
+     */
+    bool loadCheckpoint(const std::string &path,
+                        std::array<std::uint64_t, 4> *user = nullptr,
+                        std::string *err = nullptr);
 
   private:
     /** Cycle hook that forwards to the attached workload. */

@@ -5,6 +5,7 @@
 
 #include "ni/network_interface.hh"
 
+#include "ckpt/state_serializer.hh"
 #include "common/log.hh"
 #include "common/trace.hh"
 #include "router/router.hh"
@@ -34,8 +35,7 @@ NetworkInterface::packetize(const PacketDescriptor &desc,
                             std::uint32_t e2eSeq, E2eKind kind,
                             std::uint8_t faultFlags)
 {
-    static PacketId nextPacketId = 1;
-    const PacketId pid = nextPacketId++;
+    const PacketId pid = stats_.allocPacketId();
     for (int i = 0; i < desc.length; ++i) {
         Flit f;
         f.packet = pid;
@@ -600,6 +600,54 @@ NetworkInterface::normalInjection(Cycle now)
     injectQ_.pop_front();
     if (flitIsTail(flit))
         injectVc_ = kInvalidVc;
+}
+
+void
+NetworkInterface::serializeState(StateSerializer &s)
+{
+    s.section(StateSerializer::tag4("NI  "));
+    s.ioSequence(injectQ_);
+    s.ioSequence(localCredits_);
+    s.io(injectVc_);
+    s.ioSequence(ejectQ_, [&s](std::pair<Flit, Cycle> &e) {
+        s.io(e.first);
+        s.io(e.second);
+    });
+    s.io(packetsReceived_);
+    s.ioSequence(latch_, [&s](std::deque<LatchEntry> &slot) {
+        s.ioSequence(slot, [&s](LatchEntry &e) {
+            s.io(e.flit);
+            s.io(e.allocReady);
+        });
+    });
+    s.ioSequence(fwd_, [&s](ForwardState &f) {
+        s.io(f.active);
+        s.io(f.sink);
+        s.io(f.outVc);
+    });
+    s.ioSequence(stage3_, [&s](StagedFlit &e) {
+        s.io(e.flit);
+        s.io(e.outVc);
+        s.io(e.forwardReady);
+    });
+    s.ioUnorderedSet(claimed_);
+    s.io(localBypassActive_);
+    s.io(localBypassVc_);
+    s.io(latchRr_);
+    s.io(localStarve_);
+    s.io(vcRequests_);
+    s.io(latchOccupancy_);
+    s.io(ringOutBusy_);
+    s.io(aggressiveFwds_);
+    bool hasE2e = e2e_ != nullptr;
+    s.io(hasE2e);
+    if (s.loading() && hasE2e != (e2e_ != nullptr)) {
+        s.fail("checkpoint E2E presence mismatch at NI " +
+               std::to_string(id_));
+        return;
+    }
+    if (e2e_)
+        e2e_->serializeState(s);
 }
 
 void

@@ -42,6 +42,7 @@ namespace nord {
 
 class Router;
 class RoutingPolicy;
+class StateSerializer;
 
 /**
  * One node's network interface.
@@ -164,6 +165,13 @@ class NetworkInterface : public Clocked
 
     /** Dump bypass/injection state to @p out (diagnostics). */
     void dumpState(std::FILE *out) const;
+
+    /**
+     * Checkpoint hook: injection/ejection queues, local credits, the whole
+     * bypass datapath (latch, stage-2 decisions, stage 3, claimed flows)
+     * and the E2E protocol endpoint when present.
+     */
+    void serializeState(StateSerializer &s);
 
   private:
     struct LatchEntry

@@ -5,6 +5,7 @@
 
 #include "powergate/pg_controller.hh"
 
+#include "ckpt/state_serializer.hh"
 #include "common/log.hh"
 #include "router/router.hh"
 #include "stats/network_stats.hh"
@@ -171,6 +172,21 @@ PgController::tick(Cycle now)
       case PowerState::kOff: ++counters_.offCycles; break;
       case PowerState::kWakingUp: ++counters_.wakingCycles; break;
     }
+}
+
+void
+PgController::serializeState(StateSerializer &s)
+{
+    s.section(StateSerializer::tag4("PGC "));
+    s.io(state_);
+    s.io(wakeRequested_);
+    s.io(wakeDone_);
+    s.io(emptySince_);
+    s.io(wasEmpty_);
+    s.io(dead_);
+    s.io(suppressWakeUntil_);
+    s.io(wakePendingSince_);
+    s.io(watchdogWakes_);
 }
 
 void

@@ -24,6 +24,7 @@
 namespace nord {
 
 class Router;
+class StateSerializer;
 struct ActivityCounters;
 
 /**
@@ -110,6 +111,12 @@ class PgController : public Clocked
     void tick(Cycle now) override;
 
     std::string name() const override;
+
+    /**
+     * Checkpoint hook: the power FSM and wakeup bookkeeping. Subclasses
+     * with policy state (NordController's sliding window) extend it.
+     */
+    virtual void serializeState(StateSerializer &s);
 
   protected:
     /** Policy hook, called once per cycle after residency accounting. */

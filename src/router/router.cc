@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "ckpt/state_serializer.hh"
 #include "common/log.hh"
 #include "common/trace.hh"
 #include "ni/network_interface.hh"
@@ -687,6 +688,41 @@ Router::routeNewHeads(Cycle now)
                 }
             }
         }
+    }
+}
+
+void
+Router::serializeState(StateSerializer &s)
+{
+    s.section(StateSerializer::tag4("RTR "));
+    std::int32_t id = id_;
+    s.io(id);
+    if (s.loading() && id != id_) {
+        s.fail("checkpoint router id mismatch: expected " +
+               std::to_string(id_) + ", found " + std::to_string(id));
+        return;
+    }
+    for (InputPort &ip : inputs_) {
+        s.io(ip.rrVc);
+        s.ioSequence(ip.vcs, [&s](VirtualChannel &vc) {
+            s.ioSequence(vc.buffer);
+            s.io(vc.state);
+            s.io(vc.outPort);
+            s.io(vc.outVc);
+            s.io(vc.vaEarliest);
+            s.io(vc.saEarliest);
+            s.io(vc.blockedCycles);
+            s.io(vc.saBlocked);
+            s.io(vc.sentAny);
+            s.io(vc.eating);
+        });
+    }
+    for (OutputPort &op : outputs_) {
+        s.ioSequence(op.credits);
+        s.io(op.outVcBusy);
+        s.io(op.gatedView);
+        s.io(op.icUntil);
+        s.io(op.rrInput);
     }
 }
 

@@ -45,6 +45,7 @@
 namespace nord {
 
 class NetworkInterface;
+class StateSerializer;
 
 /**
  * One mesh router with its input-buffered VC pipeline.
@@ -264,6 +265,12 @@ class Router : public Clocked
 
     /** Dump all non-idle pipeline state to @p out (diagnostics). */
     void dumpState(std::FILE *out) const;
+
+    /**
+     * Checkpoint hook: every input VC FSM and buffer, allocator round-robin
+     * pointers, output credit counters / VC holds / cached neighbor views.
+     */
+    void serializeState(StateSerializer &s);
 
     /**
      * Verify resource-conservation invariants for a drained network:

@@ -5,6 +5,7 @@
 
 #include "sim/kernel.hh"
 
+#include "ckpt/state_serializer.hh"
 #include "common/log.hh"
 
 namespace nord {
@@ -29,6 +30,13 @@ SimKernel::run(Cycle cycles)
 {
     for (Cycle i = 0; i < cycles; ++i)
         stepOne();
+}
+
+void
+SimKernel::serializeState(StateSerializer &s)
+{
+    s.section(StateSerializer::tag4("KERN"));
+    s.io(now_);
 }
 
 bool

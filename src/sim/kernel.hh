@@ -14,6 +14,8 @@
 
 namespace nord {
 
+class StateSerializer;
+
 /**
  * Drives all registered Clocked objects, one pass per cycle, in
  * registration order. Does not own the objects.
@@ -45,6 +47,9 @@ class SimKernel
 
     /** Number of registered components. */
     size_t numComponents() const { return objects_.size(); }
+
+    /** Checkpoint hook: the clock is the kernel's only state. */
+    void serializeState(StateSerializer &s);
 
   private:
     void stepOne();

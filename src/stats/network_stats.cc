@@ -5,6 +5,7 @@
 
 #include "stats/network_stats.hh"
 
+#include "ckpt/state_serializer.hh"
 #include "common/log.hh"
 
 namespace nord {
@@ -277,6 +278,78 @@ NetworkStats::combinedIdleHistogram() const
         }
     }
     return combined;
+}
+
+void
+IdlePeriodHistogram::serializeState(StateSerializer &s)
+{
+    s.ioSequence(buckets_);
+    s.io(count_);
+    s.io(totalCycles_);
+}
+
+namespace {
+
+void
+serializeCounters(StateSerializer &s, ActivityCounters &c)
+{
+    s.io(c.bufferWrites);
+    s.io(c.bufferReads);
+    s.io(c.vcAllocs);
+    s.io(c.swAllocs);
+    s.io(c.xbarTraversals);
+    s.io(c.linkTraversals);
+    s.io(c.bypassLatchWrites);
+    s.io(c.bypassForwards);
+    s.io(c.onCycles);
+    s.io(c.offCycles);
+    s.io(c.wakingCycles);
+    s.io(c.wakeups);
+    s.io(c.sleeps);
+    s.io(c.emptyCycles);
+    s.io(c.busyCycles);
+}
+
+void
+serializeFlow(StateSerializer &s, FlowStats &f)
+{
+    s.io(f.delivered);
+    s.io(f.retransmits);
+    s.io(f.timeouts);
+    s.io(f.nacks);
+    s.io(f.duplicates);
+    s.io(f.damaged);
+    s.io(f.failed);
+    s.io(f.recovered);
+    s.io(f.recoveryLatencySum);
+}
+
+}  // namespace
+
+void
+NetworkStats::serializeState(StateSerializer &s)
+{
+    s.section(StateSerializer::tag4("STAT"));
+    s.ioSequence(routers_,
+                 [&s](ActivityCounters &c) { serializeCounters(s, c); });
+    s.ioSequence(idleHists_,
+                 [&s](IdlePeriodHistogram &h) { h.serializeState(s); });
+    s.ioSequence(idleStart_);
+    s.io(packetsCreated_);
+    s.io(packetsDelivered_);
+    s.io(packetsFailed_);
+    s.io(flitsInjected_);
+    s.io(flitsDelivered_);
+    s.io(flitsEjected_);
+    s.io(flitsEaten_);
+    s.io(controlPacketsCreated_);
+    s.io(controlPacketsDelivered_);
+    s.io(latencySum_);
+    s.io(hopSum_);
+    s.io(measuredPackets_);
+    s.ioSequence(latencyHist_);
+    s.ioMap(flows_, [&s](FlowStats &f) { serializeFlow(s, f); });
+    s.io(nextPacketId_);
 }
 
 }  // namespace nord

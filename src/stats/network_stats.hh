@@ -20,6 +20,8 @@
 
 namespace nord {
 
+class StateSerializer;
+
 /**
  * End-to-end resilience statistics for one (src, dst) flow.
  */
@@ -100,6 +102,9 @@ class IdlePeriodHistogram
     /** Raw bucket counts; index i holds periods of length i. */
     const std::vector<std::uint64_t> &buckets() const { return buckets_; }
 
+    /** Checkpoint hook. */
+    void serializeState(StateSerializer &s);
+
   private:
     std::vector<std::uint64_t> buckets_;  ///< [0, maxBucket]; last=overflow
     std::uint64_t count_ = 0;
@@ -113,6 +118,14 @@ class NetworkStats
 {
   public:
     NetworkStats(int numRouters, Cycle warmup);
+
+    /**
+     * Allocate the next network-unique packet id. Lives here -- the one
+     * object every NI already shares -- so packet numbering is per-system
+     * (two simulations in one process replay identically) and restores
+     * with the rest of the run state on checkpoint load.
+     */
+    PacketId allocPacketId() { return nextPacketId_++; }
 
     // --- Packet bookkeeping ---------------------------------------------
     /** A packet's flits entered the NI injection queue. */
@@ -218,6 +231,9 @@ class NetworkStats
 
     int numRouters() const { return static_cast<int>(routers_.size()); }
 
+    /** Checkpoint hook: every counter, histogram and flow record. */
+    void serializeState(StateSerializer &s);
+
   private:
     std::vector<ActivityCounters> routers_;
     std::vector<IdlePeriodHistogram> idleHists_;
@@ -238,6 +254,7 @@ class NetworkStats
     std::uint64_t measuredPackets_ = 0;
     std::vector<std::uint64_t> latencyHist_;  ///< 1-cycle buckets + overflow
     std::map<std::uint64_t, FlowStats> flows_;  ///< key (src << 32) | dst
+    PacketId nextPacketId_ = 1;
 };
 
 }  // namespace nord

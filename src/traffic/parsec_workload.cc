@@ -15,6 +15,7 @@
 
 #include <algorithm>
 
+#include "ckpt/state_serializer.hh"
 #include "common/log.hh"
 #include "network/noc_system.hh"
 
@@ -240,6 +241,32 @@ ParsecWorkload::done() const
             return false;
     }
     return true;
+}
+
+void
+ParsecWorkload::serializeState(StateSerializer &s)
+{
+    s.section(StateSerializer::tag4("PSEC"));
+    s.io(phaseRng_);
+    s.io(phaseActive_);
+    s.io(phaseEnd_);
+    s.ioSequence(cores_, [&s](Core &c) {
+        s.io(c.remaining);
+        s.io(c.outstanding);
+        s.io(c.nextIssue);
+        s.io(c.rng);
+    });
+    s.ioSequence(replies_, [&s](PendingReply &r) {
+        s.io(r.home);
+        s.io(r.requester);
+        s.io(r.due);
+        s.io(r.isWrite);
+        s.io(r.isNoise);
+    });
+    s.io(completed_);
+    s.io(total_);
+    s.io(noiseOutstanding_);
+    s.io(noiseRng_);
 }
 
 }  // namespace nord

@@ -84,6 +84,12 @@ class ParsecWorkload : public Workload
 
     const ParsecParams &params() const { return params_; }
 
+    /**
+     * Checkpoint hook: phase schedule, per-core scripts and RNGs, pending
+     * replies and completion tallies.
+     */
+    void serializeState(StateSerializer &s) override;
+
   private:
     struct Core
     {

@@ -5,6 +5,7 @@
 
 #include "traffic/synthetic_traffic.hh"
 
+#include "ckpt/state_serializer.hh"
 #include "common/log.hh"
 #include "network/noc_system.hh"
 
@@ -104,6 +105,15 @@ SyntheticTraffic::tick(Cycle)
                                                       : shortLen_;
         system_->inject(src, dst, len);
     }
+}
+
+void
+SyntheticTraffic::serializeState(StateSerializer &s)
+{
+    s.section(StateSerializer::tag4("SYNT"));
+    s.io(rng_);
+    s.io(flitRate_);
+    s.io(packetRate_);
 }
 
 }  // namespace nord

@@ -59,6 +59,9 @@ class SyntheticTraffic : public Workload
 
     double packetsPerNodeCycle() const { return packetRate_; }
 
+    /** Checkpoint hook: RNG position and the (mutable) injection rate. */
+    void serializeState(StateSerializer &s) override;
+
   private:
     NodeId pickDestination(NodeId src);
 

@@ -17,6 +17,7 @@
 namespace nord {
 
 class NocSystem;
+class StateSerializer;
 
 /**
  * Traffic source interface.
@@ -31,6 +32,13 @@ class Workload
 
     /** Generate this cycle's traffic. */
     virtual void tick(Cycle now) = 0;
+
+    /**
+     * Checkpoint hook: serialize whatever the workload needs to resume
+     * bit-exactly (RNG positions, scripts in flight). Stateless workloads
+     * keep the default no-op.
+     */
+    virtual void serializeState(StateSerializer &s) { (void)s; }
 
     /** A packet's tail flit reached its destination node. */
     virtual void onDelivery(const Flit &tail, Cycle now)

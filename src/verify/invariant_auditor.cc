@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "ckpt/state_serializer.hh"
 #include "common/log.hh"
 #include "network/noc_system.hh"
 
@@ -649,6 +650,25 @@ InvariantAuditor::onPowerTransition(Cycle now, PowerState, PowerState)
     // so the lost-wakeup check would raise false alarms.
     sweep(now, false);
     applyPolicy(before, now);
+}
+
+void
+InvariantAuditor::serializeState(StateSerializer &s)
+{
+    s.section(StateSerializer::tag4("AUDT"));
+    s.ioSequence(violations_, [&s](Violation &v) {
+        s.io(v.kind);
+        s.io(v.node);
+        s.io(v.cycle);
+        s.io(v.diagnosis);
+        s.io(v.expected);
+    });
+    s.io(sweeps_);
+    s.ioMap(expectedLeaks_);
+    s.io(recovered_);
+    s.io(lastProgress_);
+    s.io(lastProgressCycle_);
+    s.io(stallReported_);
 }
 
 }  // namespace nord

@@ -56,6 +56,7 @@
 namespace nord {
 
 class NocSystem;
+class StateSerializer;
 
 /**
  * Whole-network invariant checker (see file comment).
@@ -140,6 +141,14 @@ class InvariantAuditor : public Clocked
 
     /** Short name of a violation kind. */
     static const char *kindName(Kind k);
+
+    /**
+     * Checkpoint hook: recorded violations (with their expected-fault
+     * attribution), announced leak expectations, recovery tallies and the
+     * progress watchdog, so a restored run neither re-flags repaired
+     * faults nor false-alarms on its first post-restore sweep.
+     */
+    void serializeState(StateSerializer &s);
 
   private:
     // Individual invariant families.
