@@ -162,6 +162,18 @@ class Router : public Clocked
         return outputs_[dirIndex(d)].gatedView;
     }
 
+    /**
+     * Offline-analysis hook (nord-verify CDG pass): force the cached
+     * downstream-PG view of output @p d so a probe router can present any
+     * neighbor power-state mask to RoutingPolicy::route(). Never called
+     * during simulation -- the wiring in NocSystem keeps gatedView in sync
+     * with the real neighbor controllers.
+     */
+    void forceGatedView(Direction d, bool gated)
+    {
+        outputs_[dirIndex(d)].gatedView = gated;
+    }
+
     /** Controller callbacks. */
     void onSleep(Cycle now);
     void onWake(Cycle now);

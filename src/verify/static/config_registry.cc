@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shipped-configuration registry implementation.
+ */
+
+#include "verify/static/config_registry.hh"
+
+namespace nord {
+
+NocConfig
+makeShippedConfig(PgDesign design, int rows, int cols)
+{
+    NocConfig config;
+    config.design = design;
+    config.rows = rows;
+    config.cols = cols;
+    return config;
+}
+
+bool
+parseDesignName(const std::string &name, PgDesign *out)
+{
+    if (name == "nopg" || name == "no_pg") {
+        *out = PgDesign::kNoPg;
+    } else if (name == "convpg" || name == "conv_pg") {
+        *out = PgDesign::kConvPg;
+    } else if (name == "convpgopt" || name == "conv_pg_opt") {
+        *out = PgDesign::kConvPgOpt;
+    } else if (name == "nord") {
+        *out = PgDesign::kNord;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+std::vector<NamedConfig>
+shippedConfigs()
+{
+    static const struct { PgDesign design; const char *name; } kDesigns[] = {
+        {PgDesign::kNoPg, "nopg"},
+        {PgDesign::kConvPg, "convpg"},
+        {PgDesign::kConvPgOpt, "convpgopt"},
+        {PgDesign::kNord, "nord"},
+    };
+    static const struct { int rows, cols; } kShapes[] = {
+        {4, 4},
+        {8, 8},
+    };
+    std::vector<NamedConfig> out;
+    for (const auto &d : kDesigns) {
+        for (const auto &s : kShapes) {
+            NamedConfig named;
+            named.name = std::string(d.name) + "-" +
+                         std::to_string(s.rows) + "x" +
+                         std::to_string(s.cols);
+            named.config = makeShippedConfig(d.design, s.rows, s.cols);
+            out.push_back(std::move(named));
+        }
+    }
+    return out;
+}
+
+}  // namespace nord

@@ -119,5 +119,85 @@ TEST(CriticalityLarge, EightByEightRingDistance)
     EXPECT_NEAR(pt.avgDistanceHops, 32.0, 1e-9);
 }
 
+TEST(CriticalityEdge, TwoByTwoMesh)
+{
+    // The smallest legal mesh: the ring is the mesh's outer face, and the
+    // analysis endpoints have closed forms.
+    MeshTopology mesh(2, 2);
+    BypassRing ring(mesh);
+    CriticalityAnalyzer analyzer(mesh, ring);
+
+    std::vector<bool> on(4, true);
+    // Ordered pairwise Manhattan distances: 8x1 + 4x2 over 12 pairs.
+    EXPECT_NEAR(analyzer.analyze(on).avgDistanceHops, 4.0 / 3.0, 1e-9);
+
+    std::vector<bool> off(4, false);
+    // 4-ring: mean forward distance = (1+2+3)/3 = 2.
+    EXPECT_NEAR(analyzer.analyze(off).avgDistanceHops, 2.0, 1e-9);
+
+    auto sweep = analyzer.greedySweep();
+    ASSERT_EQ(sweep.size(), 5u);
+    int knee = CriticalityAnalyzer::kneePoint(sweep);
+    EXPECT_GE(knee, 0);
+    EXPECT_LE(knee, 4);
+    auto set = analyzer.performanceCentricSet(knee);
+    EXPECT_EQ(static_cast<int>(set.size()), knee);
+}
+
+TEST(CriticalityEdge, RectangularMeshes)
+{
+    // k x m with k != m: the serpentine ring construction and the sweep
+    // must not assume a square mesh.
+    for (auto [rows, cols] : {std::pair{2, 5}, {4, 6}, {6, 4}}) {
+        MeshTopology mesh(rows, cols);
+        BypassRing ring(mesh);
+        CriticalityAnalyzer analyzer(mesh, ring);
+        const int n = rows * cols;
+
+        std::vector<bool> off(n, false);
+        // n-ring: mean forward distance = sum(1..n-1)/(n-1) = n/2.
+        EXPECT_NEAR(analyzer.analyze(off).avgDistanceHops, n / 2.0, 1e-9)
+            << rows << "x" << cols;
+
+        auto sweep = analyzer.greedySweep();
+        ASSERT_EQ(sweep.size(), static_cast<size_t>(n) + 1);
+        for (size_t k = 1; k < sweep.size(); ++k) {
+            EXPECT_LE(sweep[k].avgDistanceHops,
+                      sweep[k - 1].avgDistanceHops + 1e-9);
+        }
+        int knee = CriticalityAnalyzer::kneePoint(sweep);
+        auto set = analyzer.performanceCentricSet(knee);
+        EXPECT_EQ(static_cast<int>(set.size()), knee);
+        for (NodeId r : set) {
+            EXPECT_GE(r, 0);
+            EXPECT_LT(r, n);
+        }
+    }
+}
+
+TEST(CriticalityEdge, BrokenRingOrdersRejected)
+{
+    MeshTopology mesh(4, 4);
+
+    // Node 0 appears twice, node 15 never: not Hamiltonian.
+    std::vector<NodeId> repeated = BypassRing(mesh).order();
+    for (NodeId &node : repeated) {
+        if (node == 15)
+            node = 0;
+    }
+    EXPECT_EXIT({ BypassRing ring(mesh, repeated); },
+                ::testing::ExitedWithCode(1), "");
+
+    // A permutation whose hops teleport across the mesh.
+    std::vector<NodeId> teleport = BypassRing(mesh).order();
+    std::swap(teleport[3], teleport[10]);
+    EXPECT_EXIT({ BypassRing ring(mesh, teleport); },
+                ::testing::ExitedWithCode(1), "");
+
+    // Too short.
+    EXPECT_EXIT({ BypassRing ring(mesh, {0, 1, 2}); },
+                ::testing::ExitedWithCode(1), "");
+}
+
 }  // namespace
 }  // namespace nord

@@ -205,5 +205,60 @@ TEST_F(NordRoutingTest, MisrouteCapForcesEscapeAtBypass)
     FAIL() << "no detour case found";
 }
 
+TEST_F(NordRoutingTest, MisrouteCapBoundaryValues)
+{
+    // Boundary-value audit of the cap bookkeeping, mirroring the CDG
+    // pass's cross-check: at misroutes == cap - 1 a detour ring hop is
+    // still offered as a (nonMinimal) candidate -- the hop that follows
+    // is the one that reaches the cap -- while misroutes == cap forces
+    // escape. route() at an on-router must agree: capped heads get no
+    // nonMinimal adaptive candidates.
+    const auto &ring = sys->ring();
+    const auto cap = static_cast<std::int16_t>(cfg.nordMisrouteCap);
+    ASSERT_GE(cap, 1);
+    bool checkedBypass = false;
+    for (NodeId n = 0; n < 16 && !checkedBypass; ++n) {
+        for (NodeId dst = 0; dst < 16; ++dst) {
+            if (dst == n || dst == ring.successor(n))
+                continue;
+            bool nonMin = sys->mesh().manhattan(ring.successor(n), dst) >=
+                          sys->mesh().manhattan(n, dst);
+            if (!nonMin)
+                continue;
+
+            Flit belowCap = headTo(0, dst);
+            belowCap.misroutes = static_cast<std::int16_t>(cap - 1);
+            RouteRequest req = policy().routeAtBypass(n, belowCap);
+            EXPECT_FALSE(req.mustEscape);
+            ASSERT_EQ(req.adaptive.size(), 1u);
+            EXPECT_EQ(req.adaptive[0].dir, ring.bypassOutport(n));
+            EXPECT_TRUE(req.adaptive[0].nonMinimal);
+
+            Flit atCap = belowCap;
+            atCap.misroutes = cap;
+            EXPECT_TRUE(policy().routeAtBypass(n, atCap).mustEscape);
+            checkedBypass = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(checkedBypass) << "no detour case found";
+
+    // On-router side: a head at the cap never sees nonMinimal candidates,
+    // one below the cap may.
+    for (std::int16_t mis : {static_cast<std::int16_t>(cap - 1), cap}) {
+        for (NodeId dst = 1; dst < 16; ++dst) {
+            Flit f = headTo(0, dst);
+            f.misroutes = mis;
+            RouteRequest req =
+                policy().route(0, f, Direction::kLocal, sys->router(0));
+            if (mis >= cap) {
+                for (const RouteCandidate &c : req.adaptive)
+                    EXPECT_FALSE(c.nonMinimal)
+                        << "capped head offered a detour to dst " << dst;
+            }
+        }
+    }
+}
+
 }  // namespace
 }  // namespace nord
