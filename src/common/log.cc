@@ -9,6 +9,13 @@
 #include <vector>
 
 namespace nord {
+
+std::FILE *
+diagStream()
+{
+    return stderr;
+}
+
 namespace detail {
 
 std::string

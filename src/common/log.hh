@@ -33,6 +33,14 @@ std::string formatString(const char *fmt, ...)
 
 }  // namespace detail
 
+/**
+ * The stream diagnostics go to (stderr). Components outside common/ must
+ * route ad-hoc diagnostic output through this accessor rather than
+ * naming stderr directly, so every side channel is enumerable (nord-lint
+ * enforces this).
+ */
+std::FILE *diagStream();
+
 /** Abort on simulator-internal invariant violation. */
 #define NORD_PANIC(...) \
     ::nord::detail::panicImpl(__FILE__, __LINE__, \

@@ -5,27 +5,61 @@
 
 #include "common/trace.hh"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 
 namespace nord {
 
+namespace {
+
+/** Sentinel: no selection made yet; seed from the environment. */
+constexpr PacketId kUnset = ~static_cast<PacketId>(0);
+
+std::atomic<PacketId> &
+selection()
+{
+    // Whitelisted mutable static (see nord-lint): a single lock-free
+    // atomic, resettable via TraceConfig, never a data race.
+    static std::atomic<PacketId> selected{kUnset};
+    return selected;
+}
+
+}  // namespace
+
+void
+TraceConfig::setPacket(PacketId id)
+{
+    selection().store(id, std::memory_order_relaxed);
+}
+
+void
+TraceConfig::reset()
+{
+    selection().store(kUnset, std::memory_order_relaxed);
+}
+
 PacketId
 tracedPacket()
 {
-    static const PacketId traced = [] {
-        const char *env = std::getenv("NORD_TRACE_PACKET");
-        return env ? static_cast<PacketId>(std::strtoull(env, nullptr, 10))
-                   : 0;
-    }();
-    return traced;
+    std::atomic<PacketId> &sel = selection();
+    PacketId id = sel.load(std::memory_order_relaxed);
+    if (id != kUnset)
+        return id;
+    const char *env = std::getenv("NORD_TRACE_PACKET");
+    PacketId fromEnv =
+        env ? static_cast<PacketId>(std::strtoull(env, nullptr, 10)) : 0;
+    // Racing first queries agree on the environment value; CAS keeps a
+    // concurrent setPacket() from being overwritten by the lazy seed.
+    sel.compare_exchange_strong(id, fromEnv, std::memory_order_relaxed);
+    return sel.load(std::memory_order_relaxed);
 }
 
 void
 tracePacket(PacketId id, Cycle now, const char *fmt, ...)
 {
-    if (id != tracedPacket() || id == 0)
+    if (id == 0 || id != tracedPacket())
         return;
     std::fprintf(stderr, "[pkt %llu @%llu] ",
                  static_cast<unsigned long long>(id),

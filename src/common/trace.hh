@@ -2,9 +2,10 @@
  * @file
  * Per-packet event tracing for debugging.
  *
- * Set NORD_TRACE_PACKET=<id> in the environment to print every traced
- * event of that packet to stderr. Zero overhead beyond one integer
- * compare when disabled.
+ * Set NORD_TRACE_PACKET=<id> in the environment (or call
+ * TraceConfig::setPacket) to print every traced event of that packet to
+ * stderr. Zero overhead beyond one atomic load and an integer compare
+ * when disabled.
  */
 
 #ifndef NORD_COMMON_TRACE_HH
@@ -16,7 +17,24 @@
 
 namespace nord {
 
-/** The packet id selected via NORD_TRACE_PACKET (0 = tracing off). */
+/**
+ * Tracing selection. The selected packet id is process-global and
+ * lock-free: one atomic that is lazily seeded from NORD_TRACE_PACKET on
+ * first use and can be overridden or reset at any time (tests exercise
+ * different trace targets in one process; the old once-latched env read
+ * could not).
+ */
+namespace TraceConfig {
+
+/** Select packet @p id for tracing (0 disables tracing). */
+void setPacket(PacketId id);
+
+/** Forget any selection; the next query re-reads NORD_TRACE_PACKET. */
+void reset();
+
+}  // namespace TraceConfig
+
+/** The currently selected packet id (0 = tracing off). */
 PacketId tracedPacket();
 
 /** printf-style trace line for packet @p id (no-op unless selected). */

@@ -10,6 +10,7 @@
 #include "ckpt/state_serializer.hh"
 #include "common/log.hh"
 #include "network/noc_system.hh"
+#include "verify/access/access_tracker.hh"
 #include "verify/invariant_auditor.hh"
 
 namespace nord {
@@ -130,6 +131,14 @@ FaultInjector::serializeState(StateSerializer &s)
     s.io(counts_.lostWakeup);
     s.io(counts_.stuck);
     s.io(counts_.dead);
+}
+
+void
+FaultInjector::declareOwnership(OwnershipDeclarator &d) const
+{
+    d.owns("fault schedule cursor, transient RNG stream, tallies");
+    d.writesAny();
+    d.readsAny();
 }
 
 }  // namespace nord

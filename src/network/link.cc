@@ -8,6 +8,7 @@
 #include "ckpt/state_serializer.hh"
 #include "common/log.hh"
 #include "router/router.hh"
+#include "verify/access/access_tracker.hh"
 
 namespace nord {
 
@@ -20,6 +21,7 @@ FlitLink::FlitLink(Router *dst, Direction inPort)
 void
 FlitLink::push(const Flit &flit, Cycle due)
 {
+    access::onWrite(this, ChannelKind::kFlitPush);
     // A link is one flit wide: serialize in push order. This also keeps
     // FIFO when a fast bypass re-injection follows a slower pipeline
     // traversal onto the same wire around a power-state transition.
@@ -59,6 +61,7 @@ FlitLink::forEachInFlight(const std::function<void(const Flit &)> &fn) const
 bool
 FlitLink::injectFlitDrop()
 {
+    access::onWrite(this, ChannelKind::kFault);
     if (queue_.empty())
         return false;
     queue_.pop_front();
@@ -68,6 +71,7 @@ FlitLink::injectFlitDrop()
 bool
 FlitLink::injectTransientFault(bool destroyFraming, std::uint64_t xorMask)
 {
+    access::onWrite(this, ChannelKind::kFault);
     if (queue_.empty())
         return false;
     Flit &f = queue_.front().flit;
@@ -92,6 +96,13 @@ FlitLink::serializeState(StateSerializer &s)
     s.io(traversals_);
 }
 
+void
+FlitLink::declareOwnership(OwnershipDeclarator &d) const
+{
+    d.owns("in-flight flit delay line");
+    d.writes(dst_, ChannelKind::kFlitDeliver, Visibility::kSameCycle);
+}
+
 std::string
 FlitLink::name() const
 {
@@ -107,6 +118,7 @@ CreditLink::CreditLink(Router *dst, Direction outPort)
 void
 CreditLink::push(VcId vc, Cycle due)
 {
+    access::onWrite(this, ChannelKind::kCreditPush);
     NORD_ASSERT(queue_.empty() || queue_.back().due <= due,
                 "credit link reordering");
     queue_.push_back({vc, due});
@@ -140,6 +152,13 @@ CreditLink::serializeState(StateSerializer &s)
         s.io(e.vc);
         s.io(e.due);
     });
+}
+
+void
+CreditLink::declareOwnership(OwnershipDeclarator &d) const
+{
+    d.owns("in-flight credit delay line");
+    d.writes(dst_, ChannelKind::kCreditDeliver, Visibility::kSameCycle);
 }
 
 std::string

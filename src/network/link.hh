@@ -91,6 +91,9 @@ class FlitLink : public Clocked
     /** Checkpoint hook: in-flight flits and the traversal counter. */
     void serializeState(StateSerializer &s);
 
+    /** Shard-safety contract: delay line feeding one router input port. */
+    void declareOwnership(OwnershipDeclarator &d) const override;
+
     std::string name() const override;
 
   private:
@@ -140,6 +143,9 @@ class CreditLink : public Clocked
 
     /** Checkpoint hook: in-flight credits. */
     void serializeState(StateSerializer &s);
+
+    /** Shard-safety contract: delay line feeding one output port. */
+    void declareOwnership(OwnershipDeclarator &d) const override;
 
     std::string name() const override;
 

@@ -7,69 +7,14 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <map>
 
 #include "ckpt/checkpoint.hh"
 #include "ckpt/state_serializer.hh"
 #include "common/log.hh"
 #include "core/nord_controller.hh"
+#include "verify/access/access_tracker.hh"
 
 namespace nord {
-
-namespace {
-
-/**
- * The greedy Floyd-Warshall sweep is deterministic per mesh shape, so the
- * performance-centric set is cached across NocSystem instances (benches
- * construct many networks).
- */
-const std::vector<double> &
-cachedSteering(const MeshTopology &mesh, const BypassRing &ring,
-               const std::vector<NodeId> &perfSet)
-{
-    static std::map<std::tuple<int, int, int>, std::vector<double>> cache;
-    auto key = std::make_tuple(mesh.rows(), mesh.cols(),
-                               static_cast<int>(perfSet.size()));
-    auto it = cache.find(key);
-    if (it == cache.end()) {
-        CriticalityAnalyzer analyzer(mesh, ring);
-        std::vector<bool> on(static_cast<size_t>(mesh.numNodes()), false);
-        for (NodeId r : perfSet)
-            on[r] = true;
-        it = cache.emplace(key,
-                           analyzer.distanceMatrixCycles(on)).first;
-    }
-    return it->second;
-}
-
-const std::vector<NodeId> &
-cachedPerfSet(const MeshTopology &mesh, const BypassRing &ring, int count)
-{
-    static std::map<std::tuple<int, int, int>, std::vector<NodeId>> cache;
-    auto key = std::make_tuple(mesh.rows(), mesh.cols(), count);
-    auto it = cache.find(key);
-    if (it == cache.end()) {
-        CriticalityAnalyzer analyzer(mesh, ring);
-        it = cache.emplace(key, analyzer.performanceCentricSet(count)).first;
-    }
-    return it->second;
-}
-
-int
-cachedKnee(const MeshTopology &mesh, const BypassRing &ring)
-{
-    static std::map<std::pair<int, int>, int> cache;
-    auto key = std::make_pair(mesh.rows(), mesh.cols());
-    auto it = cache.find(key);
-    if (it == cache.end()) {
-        CriticalityAnalyzer analyzer(mesh, ring);
-        int knee = CriticalityAnalyzer::kneePoint(analyzer.greedySweep());
-        it = cache.emplace(key, knee).first;
-    }
-    return it->second;
-}
-
-}  // namespace
 
 NocSystem::NocSystem(const NocConfig &config)
     : config_(config),
@@ -93,14 +38,56 @@ NocSystem::NocSystem(const NocConfig &config)
         for (auto &c : controllers_) {
             c->setTransitionListener(
                 [this](Cycle now, PowerState from, PowerState to) {
+                    // A transition-triggered sweep reads (and under
+                    // kRecover repairs) arbitrary components; attribute
+                    // those accesses to the wildcard auditor, not to the
+                    // controller whose transition fired the sweep.
+                    access::onWrite(auditor_.get(), ChannelKind::kAudit);
+                    access::Handoff handoff(auditor_.get());
                     auditor_->onPowerTransition(now, from, to);
                 });
         }
     }
+    if (config_.verify.trackAccess) {
+        accessTracker_ = std::make_unique<AccessTracker>();
+        kernel_.setAccessTracker(accessTracker_.get());
+    }
     registerAll();
+    if (accessTracker_) {
+        accessTracker_->collectDeclarations();
+        // System-level channels the components cannot name themselves:
+        // the workload ticker injects into any NI (delivery-triggered
+        // injections make the ordering root-dependent, hence kAny), NIs
+        // report deliveries back to the ticker's workload, and any
+        // controller transition may fire an auditor sweep.
+        for (auto &ni : nis_) {
+            accessTracker_->declareChannel(&ticker_, ni.get(),
+                                           ChannelKind::kInjection,
+                                           AccessMode::kWrite,
+                                           Visibility::kAny);
+            accessTracker_->declareChannel(ni.get(), &ticker_,
+                                           ChannelKind::kDelivery,
+                                           AccessMode::kWrite,
+                                           Visibility::kNextCycle);
+        }
+        for (auto &c : controllers_) {
+            accessTracker_->declareChannel(c.get(), auditor_.get(),
+                                           ChannelKind::kAudit,
+                                           AccessMode::kWrite,
+                                           Visibility::kAny);
+        }
+    }
 }
 
 NocSystem::~NocSystem() = default;
+
+void
+NocSystem::WorkloadTicker::declareOwnership(OwnershipDeclarator &d) const
+{
+    // Injection into NIs and the delivery channel back are declared by
+    // NocSystem via declareChannel (the ticker cannot name the NIs here).
+    d.owns("attached workload state and cursor");
+}
 
 void
 NocSystem::buildRouters()
@@ -121,8 +108,15 @@ NocSystem::buildRouters()
         nis_[id]->setPolicy(&policy_);
         nis_[id]->setDeliveryCallback(
             [this](const Flit &tail, Cycle now) {
-                if (workload_)
+                if (workload_) {
+                    // The workload runs in the ticker's domain; a
+                    // closed-loop reaction (e.g. an immediate reply
+                    // injection) must not be attributed to the
+                    // delivering NI.
+                    access::onWrite(&ticker_, ChannelKind::kDelivery);
+                    access::Handoff handoff(&ticker_);
                     workload_->onDelivery(tail, now);
+                }
             });
     }
 }
@@ -158,12 +152,16 @@ NocSystem::buildControllers()
 {
     const int n = config_.numNodes();
     if (config_.design == PgDesign::kNord) {
+        // The greedy Floyd-Warshall sweep is deterministic per mesh
+        // shape; the process-wide CriticalityCache shares it across
+        // NocSystem instances (benches construct many networks).
+        CriticalityCache &cache = CriticalityCache::instance();
         int count = config_.nordPerfCentricCount;
         if (count < 0)
-            count = cachedKnee(mesh_, ring_);
-        perfCentric_ = cachedPerfSet(mesh_, ring_, count);
+            count = cache.knee(mesh_, ring_);
+        perfCentric_ = cache.perfSet(mesh_, ring_, count);
         policy_.setSteeringTable(
-            cachedSteering(mesh_, ring_, perfCentric_));
+            cache.steering(mesh_, ring_, perfCentric_));
     }
     controllers_.reserve(n);
     for (NodeId id = 0; id < n; ++id) {

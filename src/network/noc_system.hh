@@ -45,6 +45,7 @@
 
 namespace nord {
 
+class AccessTracker;
 class StateSerializer;
 
 /**
@@ -118,6 +119,19 @@ class NocSystem
 
     /** Fault-campaign engine (null unless config.fault.enabled). */
     const FaultInjector *injector() const { return injector_.get(); }
+
+    /**
+     * Cross-component access tracker (null unless
+     * config.verify.trackAccess). Records every component-boundary
+     * read/write per cycle; AccessTracker::verify() then proves the
+     * observed dataflow against the declared ownership contracts -- the
+     * shard-safety analysis for the planned parallel kernel.
+     */
+    AccessTracker *accessTracker() { return accessTracker_.get(); }
+    const AccessTracker *accessTracker() const
+    {
+        return accessTracker_.get();
+    }
 
     /**
      * Permanently fail router @p id right now (same effect as a scheduled
@@ -202,7 +216,9 @@ class NocSystem
                         std::string *err = nullptr);
 
   private:
-    /** Cycle hook that forwards to the attached workload. */
+    /** Cycle hook that forwards to the attached workload. Workload state
+     *  is checkpointed by NocSystem::serializeState, not here.
+     *  nord-lint-allow(clocked-serialize) */
     class WorkloadTicker : public Clocked
     {
       public:
@@ -213,6 +229,7 @@ class NocSystem
                 sys_.workload_->tick(now);
         }
         std::string name() const override { return "workload"; }
+        void declareOwnership(OwnershipDeclarator &d) const override;
 
       private:
         NocSystem &sys_;
@@ -237,6 +254,7 @@ class NocSystem
     std::vector<std::unique_ptr<CreditLink>> creditLinks_;
     std::unique_ptr<InvariantAuditor> auditor_;
     std::unique_ptr<FaultInjector> injector_;
+    std::unique_ptr<AccessTracker> accessTracker_;
     std::vector<NodeId> perfCentric_;
     WorkloadTicker ticker_;
     Workload *workload_ = nullptr;

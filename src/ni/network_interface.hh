@@ -173,6 +173,12 @@ class NetworkInterface : public Clocked
      */
     void serializeState(StateSerializer &s);
 
+    /**
+     * Shard-safety contract: local injection, wakeup requests and the
+     * bypass drive into the attached router (see verify/access/).
+     */
+    void declareOwnership(OwnershipDeclarator &d) const override;
+
   private:
     struct LatchEntry
     {

@@ -118,6 +118,12 @@ class PgController : public Clocked
      */
     virtual void serializeState(StateSerializer &s);
 
+    /**
+     * Shard-safety contract: the sleep signal into the router plus the
+     * emptiness observation it is derived from (see verify/access/).
+     */
+    void declareOwnership(OwnershipDeclarator &d) const override;
+
   protected:
     /** Policy hook, called once per cycle after residency accounting. */
     virtual void policy(Cycle now) = 0;

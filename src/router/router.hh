@@ -285,6 +285,12 @@ class Router : public Clocked
     void serializeState(StateSerializer &s);
 
     /**
+     * Shard-safety contract: the channels this router writes/reads on its
+     * links, neighbors, NI and power controller (see verify/access/).
+     */
+    void declareOwnership(OwnershipDeclarator &d) const override;
+
+    /**
      * Verify resource-conservation invariants for a drained network:
      * every credit home (modulo gated-neighbor views), no output VC
      * held, every input VC idle. Panics with a description on

@@ -12,6 +12,8 @@
 
 namespace nord {
 
+class OwnershipDeclarator;
+
 /**
  * A component evaluated once per cycle.
  *
@@ -30,6 +32,16 @@ class Clocked
 
     /** Component name for diagnostics. */
     virtual std::string name() const = 0;
+
+    /**
+     * Declare the state domain this component owns and the channels it
+     * uses to touch other components (see verify/access/). The default
+     * declares nothing: fine for self-contained components (test probes),
+     * required reading for anything that participates in the network
+     * dataflow -- undeclared cross-component writes fail the shard-safety
+     * audit.
+     */
+    virtual void declareOwnership(OwnershipDeclarator &) const {}
 };
 
 }  // namespace nord

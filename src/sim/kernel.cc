@@ -7,6 +7,7 @@
 
 #include "ckpt/state_serializer.hh"
 #include "common/log.hh"
+#include "verify/access/access_tracker.hh"
 
 namespace nord {
 
@@ -15,13 +16,33 @@ SimKernel::add(Clocked *obj)
 {
     NORD_ASSERT(obj != nullptr, "null component");
     objects_.push_back(obj);
+    if (tracker_ != nullptr)
+        tracker_->registerComponent(obj);
+}
+
+void
+SimKernel::setAccessTracker(AccessTracker *tracker)
+{
+    tracker_ = tracker;
+    if (tracker_ != nullptr) {
+        for (Clocked *obj : objects_)
+            tracker_->registerComponent(obj);
+    }
 }
 
 void
 SimKernel::stepOne()
 {
-    for (Clocked *obj : objects_)
-        obj->tick(now_);
+    if (tracker_ != nullptr) {
+        for (Clocked *obj : objects_) {
+            tracker_->beginTick(obj, now_);
+            obj->tick(now_);
+            tracker_->endTick();
+        }
+    } else {
+        for (Clocked *obj : objects_)
+            obj->tick(now_);
+    }
     ++now_;
 }
 

@@ -14,6 +14,7 @@
 
 namespace nord {
 
+class AccessTracker;
 class StateSerializer;
 
 /**
@@ -30,6 +31,14 @@ class SimKernel
 
     /** Register a component; evaluation follows registration order. */
     void add(Clocked *obj);
+
+    /**
+     * Attach a cross-component access tracker (verify/access/). Must be
+     * set before components are registered so the tracker sees them in
+     * kernel order; pass nullptr to detach. The tracker is observational:
+     * it never changes evaluation order or timing.
+     */
+    void setAccessTracker(AccessTracker *tracker);
 
     /** Current cycle (the cycle being, or about to be, evaluated). */
     Cycle now() const { return now_; }
@@ -55,6 +64,7 @@ class SimKernel
     void stepOne();
 
     std::vector<Clocked *> objects_;
+    AccessTracker *tracker_ = nullptr;
     Cycle now_ = 0;
 };
 

@@ -201,4 +201,77 @@ CriticalityAnalyzer::kneePoint(const std::vector<CriticalityPoint> &sweep,
     return static_cast<int>(sweep.size()) - 1;
 }
 
+CriticalityCache &
+CriticalityCache::instance()
+{
+    // The one whitelisted mutable static in the library: a named,
+    // mutex-guarded cache (see nord-lint's whitelist).
+    static CriticalityCache cache;
+    return cache;
+}
+
+int
+CriticalityCache::knee(const MeshTopology &mesh, const BypassRing &ring)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto key = std::make_pair(mesh.rows(), mesh.cols());
+    auto it = knee_.find(key);
+    if (it == knee_.end()) {
+        CriticalityAnalyzer analyzer(mesh, ring);
+        int knee = CriticalityAnalyzer::kneePoint(analyzer.greedySweep());
+        it = knee_.emplace(key, knee).first;
+    }
+    return it->second;
+}
+
+const std::vector<NodeId> &
+CriticalityCache::perfSet(const MeshTopology &mesh, const BypassRing &ring,
+                          int count)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto key = std::make_tuple(mesh.rows(), mesh.cols(), count);
+    auto it = perfSet_.find(key);
+    if (it == perfSet_.end()) {
+        CriticalityAnalyzer analyzer(mesh, ring);
+        it = perfSet_.emplace(key,
+                              analyzer.performanceCentricSet(count)).first;
+    }
+    return it->second;
+}
+
+const std::vector<double> &
+CriticalityCache::steering(const MeshTopology &mesh, const BypassRing &ring,
+                           const std::vector<NodeId> &perf)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto key = std::make_tuple(mesh.rows(), mesh.cols(),
+                               static_cast<int>(perf.size()));
+    auto it = steering_.find(key);
+    if (it == steering_.end()) {
+        CriticalityAnalyzer analyzer(mesh, ring);
+        std::vector<bool> on(static_cast<size_t>(mesh.numNodes()), false);
+        for (NodeId r : perf)
+            on[r] = true;
+        it = steering_.emplace(key,
+                               analyzer.distanceMatrixCycles(on)).first;
+    }
+    return it->second;
+}
+
+void
+CriticalityCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    knee_.clear();
+    perfSet_.clear();
+    steering_.clear();
+}
+
+std::size_t
+CriticalityCache::entries() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return knee_.size() + perfSet_.size() + steering_.size();
+}
+
 }  // namespace nord

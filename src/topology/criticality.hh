@@ -20,6 +20,11 @@
 #ifndef NORD_TOPOLOGY_CRITICALITY_HH
 #define NORD_TOPOLOGY_CRITICALITY_HH
 
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "common/types.hh"
@@ -105,6 +110,55 @@ class CriticalityAnalyzer
     const BypassRing &ring_;
     int onHopCycles_;
     int offHopCycles_;
+};
+
+/**
+ * Process-wide cache of criticality-analysis results, keyed by mesh
+ * shape. The greedy Floyd-Warshall sweep is deterministic per shape, so
+ * benches and tests that construct many NocSystems share one computation.
+ *
+ * This replaces the anonymous function-local `static std::map` caches
+ * that used to live in noc_system.cc and cdg.cc: those were unsynchronized
+ * mutable statics -- data races the moment two NocSystems are built on two
+ * threads (see tests/test_concurrency.cc). The cache is the one piece of
+ * deliberately shared mutable state in the library; it is mutex-guarded
+ * and carries a nord-lint whitelist entry telling its story.
+ *
+ * Returned references stay valid for the process lifetime (std::map nodes
+ * are stable, entries are never erased except by clear(), which is a
+ * test-only hook callers must not race with lookups).
+ */
+class CriticalityCache
+{
+  public:
+    /** The process-wide instance. */
+    static CriticalityCache &instance();
+
+    /** Knee point of the greedy sweep for @p mesh's shape. */
+    int knee(const MeshTopology &mesh, const BypassRing &ring);
+
+    /** Performance-centric router set of size @p count. */
+    const std::vector<NodeId> &perfSet(const MeshTopology &mesh,
+                                       const BypassRing &ring, int count);
+
+    /** NoRD steering table for a performance-centric set. */
+    const std::vector<double> &steering(const MeshTopology &mesh,
+                                        const BypassRing &ring,
+                                        const std::vector<NodeId> &perf);
+
+    /** Drop every cached entry (tests only; forces recomputation). */
+    void clear();
+
+    /** Cached entries across all tables (tests). */
+    std::size_t entries() const;
+
+  private:
+    CriticalityCache() = default;
+
+    mutable std::mutex mu_;
+    std::map<std::pair<int, int>, int> knee_;
+    std::map<std::tuple<int, int, int>, std::vector<NodeId>> perfSet_;
+    std::map<std::tuple<int, int, int>, std::vector<double>> steering_;
 };
 
 }  // namespace nord

@@ -1,0 +1,372 @@
+/**
+ * @file
+ * Cross-component ownership / access tracker (DESIGN.md section 5.8).
+ *
+ * The sharded parallel kernel (ROADMAP item 1) requires that each Clocked
+ * component touch only (a) its own state and (b) other components' state
+ * through a small set of declared, order-audited channels. This layer makes
+ * that contract machine-checked *before* anything is parallelized:
+ *
+ *  - every Clocked component declares its owned state domain and the
+ *    channels it writes/reads on other components (declareOwnership());
+ *  - the kernel, when a tracker is attached, brackets each tick() with a
+ *    thread-local "who is executing" context;
+ *  - the component-boundary methods (link push/deliver, credit return,
+ *    wakeup and gating signals, NI injection/ejection, bypass datapath)
+ *    record each cross-component access into the active tracker;
+ *  - verify() flags (1) observed writes with no matching declaration --
+ *    i.e. accesses that would be data races under per-shard execution --
+ *    and (2) declared visibility contracts that the kernel's registration
+ *    order violates (a silent off-by-one-cycle bug);
+ *  - dumpDot()/dumpJson() emit the component-interaction graph.
+ *
+ * Tracking is observational only: it never alters simulation behavior,
+ * is excluded from checkpoints, and costs a single thread-local branch
+ * per boundary call when disabled.
+ */
+
+#ifndef NORD_VERIFY_ACCESS_ACCESS_TRACKER_HH
+#define NORD_VERIFY_ACCESS_ACCESS_TRACKER_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace nord {
+
+class Clocked;
+
+/**
+ * Semantic label for a cross-component channel. One (from, to, kind)
+ * triple identifies a channel instance in the interaction graph.
+ */
+enum class ChannelKind : std::int8_t {
+    kFlitPush = 0,    ///< upstream pushes a flit into a FlitLink delay line
+    kFlitDeliver,     ///< FlitLink delivers a flit into a router input port
+    kCreditPush,      ///< downstream pushes a credit into a CreditLink
+    kCreditDeliver,   ///< CreditLink delivers a credit to an output port
+    kLocalInject,     ///< NI enqueues a flit at the router's local port
+    kEjection,        ///< router hands a flit to the NI ejection queue
+    kLocalCredit,     ///< router returns a local-port credit to the NI
+    kWakeup,          ///< wakeup request raised at a PgController
+    kBypassLatch,     ///< link-time claim/write of the NI bypass latch
+    kBypassDrive,     ///< NI drives the gated router's bypass datapath
+    kPowerSignal,     ///< controller drives router sleep/wake hooks
+    kBypassControl,   ///< power FSM enables/drains the NI bypass path
+    kPowerObserve,    ///< read of a power-gating FSM state signal
+    kRouterObserve,   ///< read of router datapath status signals
+    kNiObserve,       ///< read of NI queue/bypass status signals
+    kDelivery,        ///< NI tail-delivery callback into the workload
+    kInjection,       ///< workload enqueues a packet into an NI
+    kFault,           ///< fault injector perturbing a component
+    kAudit,           ///< invariant auditor state sweep
+    kRepair,          ///< auditor kRecover repair write
+};
+
+/** Stable short name for a channel kind (used in DOT/JSON output). */
+const char *channelKindName(ChannelKind k);
+
+/** Direction of an access through a channel. */
+enum class AccessMode : std::int8_t { kRead = 0, kWrite = 1 };
+
+/**
+ * When a write through a channel becomes visible to the target component,
+ * relative to the kernel's one-pass-per-cycle evaluation. This is what
+ * ties the declared dataflow to the registration order:
+ *
+ *  - kSameCycle: the target consumes the value later in the *same* kernel
+ *    pass, so the writing component's kernel slot must come before the
+ *    target's (e.g. link->router flit delivery, wakeup requests sampled
+ *    by controllers the cycle they are raised).
+ *  - kNextCycle: the target consumes the value on a *later* pass, so the
+ *    target's kernel slot must come before the writer's (e.g. NI local
+ *    injection processed by the router next cycle, controller sleep/wake
+ *    signals observed next cycle).
+ *  - kAny: due-stamped or repair channels whose timing is carried by an
+ *    explicit cycle stamp; registration order is irrelevant.
+ */
+enum class Visibility : std::int8_t { kSameCycle = 0, kNextCycle, kAny };
+
+/** Stable name for a visibility contract. */
+const char *visibilityName(Visibility v);
+
+class AccessTracker;
+
+/**
+ * Collector passed to Clocked::declareOwnership(). Bound to the declaring
+ * component; every writes()/reads() call declares an outbound channel
+ * from that component.
+ */
+class OwnershipDeclarator
+{
+  public:
+    /** One-line description of the state domain this component owns. */
+    void owns(const std::string &domain);
+
+    /** Declare a write channel to @p target with visibility @p vis. */
+    void writes(const Clocked *target, ChannelKind kind, Visibility vis);
+
+    /** Declare a read channel from @p target. */
+    void reads(const Clocked *target, ChannelKind kind);
+
+    /**
+     * Blanket write permission (fault injector, auditor repairs). The
+     * component may write anywhere; its writes are exempt from the
+     * registration-order audit (they are deliberately out-of-contract).
+     */
+    void writesAny();
+
+    /** Blanket read permission (the invariant auditor's sweeps). */
+    void readsAny();
+
+  private:
+    friend class AccessTracker;
+    OwnershipDeclarator(AccessTracker *tracker, int componentId)
+        : tracker_(tracker), componentId_(componentId)
+    {}
+
+    AccessTracker *tracker_;
+    int componentId_;
+};
+
+/**
+ * Records cross-component accesses observed while the kernel ticks, checks
+ * them against the declared channels, and renders the interaction graph.
+ *
+ * Lifecycle: components are registered in kernel order (SimKernel forwards
+ * its add() calls), declarations are collected once wiring is complete
+ * (collectDeclarations()), then accesses accumulate during run. verify()
+ * may be called at any point after collection.
+ */
+class AccessTracker
+{
+  public:
+    /** Per-component node in the interaction graph. */
+    struct Component
+    {
+        const Clocked *object = nullptr;
+        std::string name;
+        int order = 0;          ///< kernel registration slot
+        std::string domain;     ///< declared owned-state description
+        bool wildcardWrite = false;
+        bool wildcardRead = false;
+    };
+
+    /** Aggregated observations for one (from, to, kind, mode) edge. */
+    struct Edge
+    {
+        int from = -1;          ///< attributed component (domain semantics)
+        int to = -1;
+        ChannelKind kind = ChannelKind::kFlitPush;
+        AccessMode mode = AccessMode::kRead;
+        std::uint64_t count = 0;
+        Cycle firstCycle = 0;
+        Cycle lastCycle = 0;
+        int minRootOrder = 0;   ///< earliest kernel slot that performed it
+        int maxRootOrder = 0;   ///< latest kernel slot that performed it
+        bool declared = false;  ///< matched a declaration (or wildcard)
+        bool viaWildcard = false;
+        Visibility visibility = Visibility::kAny;  ///< declared contract
+    };
+
+    /** One contract violation found by verify(). */
+    struct Violation
+    {
+        enum class Type { kUndeclaredWrite, kOrderViolation };
+        Type type = Type::kUndeclaredWrite;
+        std::string what;
+    };
+
+    AccessTracker() = default;
+    ~AccessTracker();
+
+    AccessTracker(const AccessTracker &) = delete;
+    AccessTracker &operator=(const AccessTracker &) = delete;
+
+    /** Register a component; call order must mirror kernel order. */
+    void registerComponent(const Clocked *c);
+
+    /**
+     * Invoke declareOwnership() on every registered component. Call after
+     * all wiring (neighbors, links, NIs) is complete.
+     */
+    void collectDeclarations();
+
+    /**
+     * Declare a channel on behalf of @p from, for edges a component cannot
+     * name itself (e.g. the NI -> workload-ticker delivery callback wired
+     * through NocSystem).
+     */
+    void declareChannel(const Clocked *from, const Clocked *to,
+                        ChannelKind kind, AccessMode mode, Visibility vis);
+
+    /** Record one access; called from the instrumentation helpers. */
+    void record(const Clocked *target, ChannelKind kind, AccessMode mode);
+
+    // -- Tick context (used by SimKernel and the handoff helper). --------
+
+    /** Enter a component's tick: sets the executing/root context. */
+    void beginTick(const Clocked *c, Cycle now);
+
+    /** Leave the current tick context. */
+    void endTick();
+
+    // -- Results. --------------------------------------------------------
+
+    /**
+     * Check observations against declarations.
+     *
+     * Returns undeclared cross-component *writes* (reads are reported via
+     * undeclaredReads() as advisory) and registration-order violations:
+     * for each declared kSameCycle write channel every observed rooting
+     * slot must precede the target's slot; for kNextCycle it must follow.
+     */
+    std::vector<Violation> verify() const;
+
+    /** Advisory: observed read edges with no matching declaration. */
+    std::vector<std::string> undeclaredReads() const;
+
+    const std::vector<Component> &components() const { return components_; }
+
+    /** Aggregated observed edges, ordered by (from, to, kind, mode). */
+    std::vector<Edge> edges() const;
+
+    /** Count of observed edges matching (fromName, toName, kind). */
+    std::uint64_t edgeCount(const std::string &fromName,
+                            const std::string &toName,
+                            ChannelKind kind) const;
+
+    /** Total recorded accesses. */
+    std::uint64_t totalAccesses() const { return totalAccesses_; }
+
+    /** Graphviz rendering of the interaction graph. */
+    std::string dot() const;
+
+    /** JSON rendering (components + edges + violations). */
+    std::string json() const;
+
+    /** Convenience: write dot()/json() to a stream. */
+    void dumpDot(std::FILE *out) const;
+    void dumpJson(std::FILE *out) const;
+
+  private:
+    friend class OwnershipDeclarator;
+
+    struct DeclKey
+    {
+        int from;
+        int to;  ///< -1 for wildcard
+        ChannelKind kind;
+        AccessMode mode;
+        bool operator<(const DeclKey &o) const;
+    };
+
+    struct EdgeKey
+    {
+        int from;
+        int to;
+        ChannelKind kind;
+        AccessMode mode;
+        bool operator<(const EdgeKey &o) const;
+    };
+
+    struct EdgeData
+    {
+        std::uint64_t count = 0;
+        Cycle firstCycle = 0;
+        Cycle lastCycle = 0;
+        int minRootOrder = 0;
+        int maxRootOrder = 0;
+    };
+
+    int idOf(const Clocked *c) const;
+    const char *nameOf(int id) const;
+    bool isDeclared(int from, int to, ChannelKind kind, AccessMode mode,
+                    Visibility *vis, bool *viaWildcard) const;
+
+    std::vector<Component> components_;
+    std::map<const Clocked *, int> ids_;
+    std::map<DeclKey, Visibility> declarations_;
+    std::map<EdgeKey, EdgeData> observed_;
+    std::uint64_t totalAccesses_ = 0;
+    bool collected_ = false;
+};
+
+namespace access {
+
+/**
+ * Thread-local execution context. tracker is non-null only inside a
+ * kernel tick with tracking enabled; current is the component whose
+ * domain the executing code belongs to; root is the component whose
+ * kernel slot is running (never changed by handoffs).
+ */
+struct TickContext
+{
+    AccessTracker *tracker = nullptr;
+    const Clocked *current = nullptr;
+    const Clocked *root = nullptr;
+    Cycle now = 0;
+};
+
+/** The calling thread's context (one per thread: shard-safe by design). */
+TickContext &tickContext();
+
+/**
+ * Record a cross-component write of @p target through @p kind. No-op when
+ * no tracker is active or when @p target is the executing component.
+ */
+inline void
+onWrite(const Clocked *target, ChannelKind kind)
+{
+    TickContext &ctx = tickContext();
+    if (ctx.tracker != nullptr)
+        ctx.tracker->record(target, kind, AccessMode::kWrite);
+}
+
+/** Record a cross-component read of @p target through @p kind. */
+inline void
+onRead(const Clocked *target, ChannelKind kind)
+{
+    TickContext &ctx = tickContext();
+    if (ctx.tracker != nullptr)
+        ctx.tracker->record(target, kind, AccessMode::kRead);
+}
+
+/**
+ * RAII domain handoff: code inside a cross-component entry point executes
+ * on behalf of the callee's domain. Entry points record the inbound access
+ * first, then hand off, so nested accesses are attributed to the callee
+ * (e.g. a gated router's input stage redirecting a delivered flit into the
+ * NI bypass latch attributes the latch write to the router, not the link).
+ * The root component -- whose kernel slot is running -- is preserved for
+ * the registration-order audit.
+ */
+class Handoff
+{
+  public:
+    explicit Handoff(const Clocked *callee)
+        : ctx_(tickContext()), saved_(ctx_.current)
+    {
+        if (ctx_.tracker != nullptr)
+            ctx_.current = callee;
+    }
+
+    ~Handoff() { ctx_.current = saved_; }
+
+    Handoff(const Handoff &) = delete;
+    Handoff &operator=(const Handoff &) = delete;
+
+  private:
+    TickContext &ctx_;
+    const Clocked *saved_;
+};
+
+}  // namespace access
+
+}  // namespace nord
+
+#endif  // NORD_VERIFY_ACCESS_ACCESS_TRACKER_HH

@@ -10,6 +10,7 @@
 #include "ckpt/state_serializer.hh"
 #include "common/log.hh"
 #include "network/noc_system.hh"
+#include "verify/access/access_tracker.hh"
 
 namespace nord {
 
@@ -613,14 +614,15 @@ InvariantAuditor::applyPolicy(size_t before, Cycle now)
         const bool print =
             config_.policy == AuditPolicy::kDiagnose ? true : !v.expected;
         if (print) {
-            std::fprintf(stderr, "[auditor] %s%s: %s\n", kindName(v.kind),
+            std::fprintf(diagStream(), "[auditor] %s%s: %s\n",
+                         kindName(v.kind),
                          v.expected ? " (expected)" : "",
                          v.diagnosis.c_str());
         }
     }
     if (config_.policy != AuditPolicy::kAbort || newUnexpected == 0)
         return;
-    sys_.dumpState(stderr);
+    sys_.dumpState(diagStream());
     NORD_PANIC("invariant audit failed at cycle %llu with %zu new "
                "unexpected violation(s); first: [%s] %s",
                static_cast<unsigned long long>(now),
@@ -669,6 +671,14 @@ InvariantAuditor::serializeState(StateSerializer &s)
     s.io(lastProgress_);
     s.io(lastProgressCycle_);
     s.io(stallReported_);
+}
+
+void
+InvariantAuditor::declareOwnership(OwnershipDeclarator &d) const
+{
+    d.owns("recorded violations, leak expectations, watchdog state");
+    d.readsAny();
+    d.writesAny();  // kRecover repairs credits in place
 }
 
 }  // namespace nord

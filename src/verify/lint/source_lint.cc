@@ -1,0 +1,628 @@
+/**
+ * @file
+ * nord-lint engine implementation (see source_lint.hh for the checks).
+ *
+ * Deliberately std-only (no nord dependencies): the CLI builds this file
+ * standalone, and the engine must be able to lint a tree that does not
+ * compile.
+ */
+
+#include "verify/lint/source_lint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace nord {
+
+namespace {
+
+bool
+isWordChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** True when content[pos..pos+len) is the whole identifier @p word. */
+bool
+isWordAt(const std::string &s, size_t pos, const char *word, size_t len)
+{
+    if (s.compare(pos, len, word) != 0)
+        return false;
+    if (pos > 0 && isWordChar(s[pos - 1]))
+        return false;
+    if (pos + len < s.size() && isWordChar(s[pos + len]))
+        return false;
+    return true;
+}
+
+/** 1-based line number of offset @p pos. */
+int
+lineOf(const std::string &s, size_t pos)
+{
+    return 1 + static_cast<int>(std::count(s.begin(),
+                                           s.begin() +
+                                               static_cast<long>(pos),
+                                           '\n'));
+}
+
+/** The full text of 1-based line @p line (empty when out of range). */
+std::string
+lineText(const std::string &s, int line)
+{
+    std::istringstream in(s);
+    std::string text;
+    for (int i = 0; i < line; ++i) {
+        if (!std::getline(in, text))
+            return "";
+    }
+    return text;
+}
+
+/**
+ * True when `// nord-lint-allow(...)` naming @p check (or the blanket
+ * alias @p alias, may be null) appears on @p line or the @p span lines
+ * above it in the ORIGINAL content (annotations live in comments, which
+ * stripCode removes).
+ */
+bool
+allowedAt(const std::string &original, int line, const std::string &check,
+          const char *alias, int span = 2)
+{
+    for (int l = line; l >= 1 && l >= line - span; --l) {
+        const std::string text = lineText(original, l);
+        const size_t at = text.find("nord-lint-allow(");
+        if (at == std::string::npos)
+            continue;
+        const size_t close = text.find(')', at);
+        if (close == std::string::npos)
+            continue;
+        const std::string args =
+            text.substr(at + 16, close - (at + 16));
+        if (args.find(check) != std::string::npos)
+            return true;
+        if (alias && args.find(alias) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+/** Scope of one file relative to the repo root. */
+struct Scope
+{
+    bool underSrc = false;     ///< src/...
+    bool underCommon = false;  ///< src/common/...
+    bool isRngWrapper = false; ///< src/common/rng.{hh,cc}
+    bool header = false;       ///< *.hh
+};
+
+Scope
+classify(const std::string &path)
+{
+    // Normalize separators; accept both repo-relative and absolute paths.
+    std::string p = path;
+    std::replace(p.begin(), p.end(), '\\', '/');
+    Scope s;
+    auto within = [&p](const char *dir) {
+        const std::string d = std::string(dir) + "/";
+        return p.rfind(d, 0) == 0 ||
+               p.find("/" + d) != std::string::npos;
+    };
+    s.underSrc = within("src");
+    s.underCommon = within("src/common");
+    s.isRngWrapper = p.find("src/common/rng.") != std::string::npos;
+    s.header = p.size() > 3 && p.compare(p.size() - 3, 3, ".hh") == 0;
+    return s;
+}
+
+/**
+ * Span of the declaration/statement starting at the `static` keyword:
+ * ends at the first `;` at zero bracket depth, or where a brace block
+ * opened after the keyword closes back to depth zero (function bodies,
+ * brace initializers, lambda initializers).
+ */
+size_t
+statementEnd(const std::string &s, size_t from)
+{
+    int depth = 0;
+    bool sawBrace = false;
+    const size_t cap = std::min(s.size(), from + 4000);
+    for (size_t i = from; i < cap; ++i) {
+        const char c = s[i];
+        if (c == '(' || c == '[')
+            ++depth;
+        else if (c == ')' || c == ']')
+            --depth;
+        else if (c == '{') {
+            ++depth;
+            sawBrace = true;
+        } else if (c == '}') {
+            --depth;
+            if (sawBrace && depth <= 0)
+                return i + 1;
+        } else if (c == ';' && depth <= 0) {
+            return i + 1;
+        }
+    }
+    return cap;
+}
+
+/**
+ * Classify the `static` at @p pos: returns true (and the finding line)
+ * when it declares a mutable variable -- i.e. scanning forward at zero
+ * template/paren depth, none of const/constexpr/constinit/thread_local
+ * appears, the previous token is not thread_local, and the declaration
+ * hits `;`, `=` or `{` before any `(` (a `(` first means a function).
+ */
+bool
+isMutableStaticVariable(const std::string &s, size_t pos, size_t len)
+{
+    // Previous token: `thread_local static int x;` is shard-safe.
+    size_t b = pos;
+    while (b > 0 &&
+           std::isspace(static_cast<unsigned char>(s[b - 1])))
+        --b;
+    size_t e = b;
+    while (b > 0 && isWordChar(s[b - 1]))
+        --b;
+    if (s.compare(b, e - b, "thread_local") == 0)
+        return false;
+
+    int angle = 0;
+    size_t i = pos + len;
+    while (i < s.size()) {
+        const char c = s[i];
+        if (c == '<') {
+            ++angle;
+            ++i;
+        } else if (c == '>') {
+            if (angle > 0)
+                --angle;
+            ++i;
+        } else if (angle == 0 &&
+                   (c == '(' || c == ';' || c == '=' || c == '{')) {
+            return c != '(';
+        } else if (isWordChar(c)) {
+            size_t j = i;
+            while (j < s.size() && isWordChar(s[j]))
+                ++j;
+            const std::string word = s.substr(i, j - i);
+            if (word == "const" || word == "constexpr" ||
+                word == "constinit" || word == "thread_local")
+                return false;
+            i = j;
+        } else {
+            ++i;
+        }
+    }
+    return false;
+}
+
+bool
+whitelisted(const LintFinding &f, const std::string &offendingLine,
+            const std::vector<LintWhitelistEntry> &wl)
+{
+    for (const LintWhitelistEntry &w : wl) {
+        if (f.check != w.check)
+            continue;
+        if (f.file.size() < w.fileSuffix.size() ||
+            f.file.compare(f.file.size() - w.fileSuffix.size(),
+                           w.fileSuffix.size(), w.fileSuffix) != 0)
+            continue;
+        if (offendingLine.find(w.token) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+void
+checkStatics(const std::string &path, const std::string &original,
+             const std::string &stripped, const Scope &scope,
+             const std::vector<LintWhitelistEntry> &wl,
+             std::vector<LintFinding> &out)
+{
+    for (size_t i = stripped.find("static"); i != std::string::npos;
+         i = stripped.find("static", i + 6)) {
+        if (!isWordAt(stripped, i, "static", 6))
+            continue;
+        const int line = lineOf(stripped, i);
+        const std::string span =
+            stripped.substr(i, statementEnd(stripped, i) - i);
+
+        // env-latch: a static seeded from the environment freezes the
+        // first environment it sees. Banned everywhere, const or not.
+        if (span.find("getenv") != std::string::npos) {
+            LintFinding f{path, line, "env-latch",
+                          "static initialized from getenv(): latches the "
+                          "first environment seen and can never be reset "
+                          "(use an explicit resettable config object)"};
+            if (!allowedAt(original, line, f.check, nullptr) &&
+                !whitelisted(f, lineText(original, line), wl))
+                out.push_back(std::move(f));
+        }
+
+        // mutable-static: src/ only.
+        if (scope.underSrc &&
+            isMutableStaticVariable(stripped, i, 6)) {
+            LintFinding f{path, line, "mutable-static",
+                          "non-const static variable: hidden process-"
+                          "global state, a data race once two NocSystems "
+                          "run on two threads (own it in a component, or "
+                          "whitelist it with a story)"};
+            if (!allowedAt(original, line, f.check, nullptr) &&
+                !whitelisted(f, lineText(original, line), wl))
+                out.push_back(std::move(f));
+        }
+    }
+}
+
+void
+checkEnvReads(const std::string &path, const std::string &original,
+              const std::string &stripped, const Scope &scope,
+              std::vector<LintFinding> &out)
+{
+    // Tests and benches may read their own knobs from the environment;
+    // the ban is on the simulator library itself.
+    if (!scope.underSrc || scope.underCommon)
+        return;
+    for (size_t i = stripped.find("getenv"); i != std::string::npos;
+         i = stripped.find("getenv", i + 6)) {
+        if (!isWordAt(stripped, i, "getenv", 6))
+            continue;
+        const int line = lineOf(stripped, i);
+        if (allowedAt(original, line, "env-read", nullptr))
+            continue;
+        out.push_back({path, line, "env-read",
+                       "getenv() outside src/common/: environment side "
+                       "channel (funnel it through common/)"});
+    }
+}
+
+void
+checkStdio(const std::string &path, const std::string &original,
+           const std::string &stripped, const Scope &scope,
+           std::vector<LintFinding> &out)
+{
+    if (!scope.underSrc || scope.underCommon)
+        return;
+    static const struct
+    {
+        const char *word;
+        size_t len;
+    } kBanned[] = {{"stderr", 6}, {"stdout", 6}, {"printf", 6},
+                   {"scanf", 5}, {"puts", 4}};
+    for (const auto &b : kBanned) {
+        for (size_t i = stripped.find(b.word); i != std::string::npos;
+             i = stripped.find(b.word, i + b.len)) {
+            if (!isWordAt(stripped, i, b.word, b.len))
+                continue;
+            const int line = lineOf(stripped, i);
+            if (allowedAt(original, line, "stdio-side-channel", nullptr))
+                continue;
+            out.push_back(
+                {path, line, "stdio-side-channel",
+                 std::string(b.word) +
+                     " in src/ outside src/common/: route diagnostics "
+                     "through diagStream() / a FILE* parameter so side "
+                     "channels stay enumerable"});
+        }
+    }
+}
+
+void
+checkDeterminism(const std::string &path, const std::string &original,
+                 const std::string &stripped, const Scope &scope,
+                 std::vector<LintFinding> &out)
+{
+    if (scope.isRngWrapper)
+        return;
+    auto report = [&](size_t pos, const std::string &msg) {
+        const int line = lineOf(stripped, pos);
+        if (allowedAt(original, line, "determinism", nullptr))
+            return;
+        out.push_back({path, line, "determinism", msg});
+    };
+
+    for (const char *word : {"rand", "srand"}) {
+        const size_t len = std::string(word).size();
+        for (size_t i = stripped.find(word); i != std::string::npos;
+             i = stripped.find(word, i + len)) {
+            if (!isWordAt(stripped, i, word, len)) {
+                continue;
+            }
+            size_t j = i + len;
+            while (j < stripped.size() &&
+                   std::isspace(static_cast<unsigned char>(stripped[j])))
+                ++j;
+            if (j < stripped.size() && stripped[j] == '(')
+                report(i, "libc rand()/srand(): global hidden PRNG state; "
+                          "all randomness must flow through the seeded "
+                          "src/common/rng.*");
+        }
+    }
+
+    for (size_t i = stripped.find("std::random_device");
+         i != std::string::npos;
+         i = stripped.find("std::random_device", i + 18)) {
+        report(i, "std::random_device: nondeterministic hardware entropy; "
+                  "use the seeded src/common/rng.*");
+    }
+
+    for (size_t i = stripped.find("time"); i != std::string::npos;
+         i = stripped.find("time", i + 4)) {
+        if (!isWordAt(stripped, i, "time", 4))
+            continue;
+        size_t j = i + 4;
+        while (j < stripped.size() &&
+               std::isspace(static_cast<unsigned char>(stripped[j])))
+            ++j;
+        if (j >= stripped.size() || stripped[j] != '(')
+            continue;
+        const size_t close = stripped.find(')', j);
+        if (close == std::string::npos)
+            continue;
+        std::string arg = stripped.substr(j + 1, close - j - 1);
+        arg.erase(std::remove_if(arg.begin(), arg.end(),
+                                 [](char c) {
+                                     return std::isspace(
+                                         static_cast<unsigned char>(c));
+                                 }),
+                  arg.end());
+        if (arg.empty() || arg == "nullptr" || arg == "NULL" ||
+            arg == "0")
+            report(i, "wall-clock time() call: wall time must never leak "
+                      "into simulation state");
+    }
+}
+
+void
+checkClockedContract(const std::string &path, const std::string &original,
+                     const std::string &stripped, const Scope &scope,
+                     std::vector<LintFinding> &out)
+{
+    if (!scope.underSrc || !scope.header)
+        return;
+    for (size_t i = stripped.find("public Clocked");
+         i != std::string::npos;
+         i = stripped.find("public Clocked", i + 14)) {
+        if (!isWordAt(stripped, i + 7, "Clocked", 7))
+            continue;
+        // Identify `class <Name>` to the left of the base clause.
+        size_t cls = stripped.rfind("class", i);
+        if (cls == std::string::npos)
+            continue;
+        size_t n = cls + 5;
+        while (n < stripped.size() &&
+               std::isspace(static_cast<unsigned char>(stripped[n])))
+            ++n;
+        size_t ne = n;
+        while (ne < stripped.size() && isWordChar(stripped[ne]))
+            ++ne;
+        const std::string name = stripped.substr(n, ne - n);
+        const int line = lineOf(stripped, cls);
+
+        // Class body: first '{' after the base clause to its match.
+        size_t open = stripped.find('{', i);
+        if (open == std::string::npos)
+            continue;
+        int depth = 0;
+        size_t close = open;
+        for (; close < stripped.size(); ++close) {
+            if (stripped[close] == '{')
+                ++depth;
+            else if (stripped[close] == '}' && --depth == 0)
+                break;
+        }
+        const std::string body =
+            stripped.substr(open, close - open);
+
+        if (body.find("serializeState") == std::string::npos &&
+            !allowedAt(original, line, "clocked-serialize",
+                       "clocked-contract", 4)) {
+            out.push_back({path, line, "clocked-serialize",
+                           "Clocked subclass " + name +
+                               " has no serializeState: its state would "
+                               "silently vanish from checkpoints"});
+        }
+        if (body.find("declareOwnership") == std::string::npos &&
+            !allowedAt(original, line, "clocked-ownership",
+                       "clocked-contract", 4)) {
+            out.push_back({path, line, "clocked-ownership",
+                           "Clocked subclass " + name +
+                               " has no declareOwnership: it is invisible "
+                               "to the shard-safety access analysis"});
+        }
+    }
+}
+
+}  // namespace
+
+std::string
+stripCode(const std::string &content)
+{
+    std::string out = content;
+    enum class St
+    {
+        kCode,
+        kLineComment,
+        kBlockComment,
+        kString,
+        kChar,
+        kRawString,
+    } st = St::kCode;
+    std::string rawDelim;  // )delim" terminator for raw strings
+
+    for (size_t i = 0; i < content.size(); ++i) {
+        const char c = content[i];
+        const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+        switch (st) {
+          case St::kCode:
+            if (c == '/' && next == '/') {
+                st = St::kLineComment;
+                out[i] = ' ';
+            } else if (c == '/' && next == '*') {
+                st = St::kBlockComment;
+                out[i] = ' ';
+            } else if (c == 'R' && next == '"' &&
+                       (i == 0 || !isWordChar(content[i - 1]))) {
+                // R"delim( ... )delim"
+                size_t open = content.find('(', i + 2);
+                if (open == std::string::npos)
+                    break;
+                rawDelim = ")";
+                rawDelim.append(content, i + 2, open - (i + 2));
+                rawDelim.push_back('"');
+                st = St::kRawString;
+                for (size_t j = i; j <= open && j < out.size(); ++j) {
+                    if (out[j] != '\n')
+                        out[j] = ' ';
+                }
+                i = open;
+            } else if (c == '"') {
+                st = St::kString;
+                out[i] = ' ';
+            } else if (c == '\'') {
+                st = St::kChar;
+                out[i] = ' ';
+            }
+            break;
+          case St::kLineComment:
+            if (c == '\n')
+                st = St::kCode;
+            else
+                out[i] = ' ';
+            break;
+          case St::kBlockComment:
+            if (c == '*' && next == '/') {
+                out[i] = ' ';
+                out[i + 1] = ' ';
+                ++i;
+                st = St::kCode;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+          case St::kString:
+            if (c == '\\' && next != '\0') {
+                out[i] = ' ';
+                if (next != '\n')
+                    out[i + 1] = ' ';
+                ++i;
+            } else if (c == '"') {
+                out[i] = ' ';
+                st = St::kCode;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+          case St::kChar:
+            if (c == '\\' && next != '\0') {
+                out[i] = ' ';
+                if (next != '\n')
+                    out[i + 1] = ' ';
+                ++i;
+            } else if (c == '\'') {
+                out[i] = ' ';
+                st = St::kCode;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+          case St::kRawString:
+            if (content.compare(i, rawDelim.size(), rawDelim) == 0) {
+                for (size_t j = i; j < i + rawDelim.size(); ++j)
+                    out[j] = ' ';
+                i += rawDelim.size() - 1;
+                st = St::kCode;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+const std::vector<LintWhitelistEntry> &
+lintWhitelist()
+{
+    static const std::vector<LintWhitelistEntry> kWhitelist = {
+        {"src/topology/criticality.cc", "mutable-static",
+         "static CriticalityCache cache",
+         "process-wide criticality cache: the one sanctioned shared-state "
+         "singleton, mutex-guarded, results immutable once computed"},
+        {"src/common/trace.cc", "mutable-static",
+         "static std::atomic<PacketId> selected",
+         "trace selection: a single lock-free atomic, resettable via "
+         "TraceConfig, never a data race"},
+    };
+    return kWhitelist;
+}
+
+std::vector<LintFinding>
+lintSource(const std::string &path, const std::string &content,
+           const std::vector<LintWhitelistEntry> &whitelist)
+{
+    std::vector<LintFinding> out;
+    const Scope scope = classify(path);
+    const std::string stripped = stripCode(content);
+    checkStatics(path, content, stripped, scope, whitelist, out);
+    checkEnvReads(path, content, stripped, scope, out);
+    checkStdio(path, content, stripped, scope, out);
+    checkDeterminism(path, content, stripped, scope, out);
+    checkClockedContract(path, content, stripped, scope, out);
+    std::sort(out.begin(), out.end(),
+              [](const LintFinding &a, const LintFinding &b) {
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.check < b.check;
+              });
+    return out;
+}
+
+std::vector<LintFinding>
+lintTree(const std::string &root,
+         const std::vector<LintWhitelistEntry> &whitelist,
+         std::string *err)
+{
+    namespace fs = std::filesystem;
+    std::vector<LintFinding> out;
+    std::vector<std::string> files;
+    for (const char *dir :
+         {"src", "tools", "bench", "examples", "tests"}) {
+        const fs::path base = fs::path(root) / dir;
+        std::error_code ec;
+        if (!fs::is_directory(base, ec))
+            continue;
+        for (auto it = fs::recursive_directory_iterator(base, ec);
+             !ec && it != fs::recursive_directory_iterator(); ++it) {
+            if (!it->is_regular_file(ec))
+                continue;
+            const std::string ext = it->path().extension().string();
+            if (ext != ".cc" && ext != ".hh")
+                continue;
+            files.push_back(
+                fs::relative(it->path(), root, ec).generic_string());
+        }
+    }
+    std::sort(files.begin(), files.end());
+    for (const std::string &rel : files) {
+        std::ifstream in(fs::path(root) / rel,
+                         std::ios::in | std::ios::binary);
+        if (!in) {
+            if (err)
+                *err = "cannot read " + rel;
+            continue;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        std::vector<LintFinding> found =
+            lintSource(rel, buf.str(), whitelist);
+        out.insert(out.end(), found.begin(), found.end());
+    }
+    return out;
+}
+
+}  // namespace nord

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * nord-lint: the static source pass behind the shard-safety analysis.
+ *
+ * The runtime AccessTracker (verify/access/) proves that *component*
+ * state only crosses shard boundaries through declared channels. This
+ * pass closes the remaining hole: *hidden* process-global state that no
+ * component owns. It scans the C++ sources themselves and bans
+ *
+ *  - mutable-static: non-const, non-thread_local function-local or
+ *    namespace-scope `static` variables in src/ (each one is a data race
+ *    the moment two NocSystems run on two threads), outside a short
+ *    whitelist whose entries each carry a story;
+ *  - env-latch: a `static` initialized from getenv() -- state that
+ *    silently freezes the first environment it sees (the old
+ *    tracedPacket() bug), banned everywhere including src/common/;
+ *  - env-read: getenv() outside src/common/ (environment access is a
+ *    side channel; it must be funneled through common/);
+ *  - stdio-side-channel: stderr/stdout/printf in src/ outside
+ *    src/common/ (diagnostics go through diagStream() so every side
+ *    channel is enumerable);
+ *  - determinism: libc rand()/srand(), std::random_device and wall-clock
+ *    time() anywhere in src/tools/bench/examples/tests except the
+ *    seeded generator src/common/rng.* (absorbed from the retired
+ *    scripts/determinism_lint.sh);
+ *  - clocked-contract: every class deriving directly from Clocked in a
+ *    src/ header must declare both serializeState (checkpointable) and
+ *    declareOwnership (shard-safety contract).
+ *
+ * A finding on line N is suppressed by `// nord-lint-allow(<check>)` on
+ * line N or one of the two lines above it. The engine is std-only so the
+ * CLI (tools/nord-lint) builds standalone.
+ */
+
+#ifndef NORD_VERIFY_LINT_SOURCE_LINT_HH
+#define NORD_VERIFY_LINT_SOURCE_LINT_HH
+
+#include <string>
+#include <vector>
+
+namespace nord {
+
+/** One lint violation. */
+struct LintFinding
+{
+    std::string file;     ///< path as handed to lintSource
+    int line = 0;         ///< 1-based line number
+    std::string check;    ///< check slug (e.g. "mutable-static")
+    std::string message;  ///< human-readable description
+};
+
+/** One sanctioned exception, with its justification. */
+struct LintWhitelistEntry
+{
+    std::string fileSuffix;  ///< applies when the path ends with this
+    std::string check;       ///< check slug the exception is for
+    std::string token;       ///< offending line must contain this
+    std::string story;       ///< why this one is safe
+};
+
+/**
+ * The built-in whitelist: the library's sanctioned mutable statics
+ * (the mutex-guarded CriticalityCache, the lock-free trace selection).
+ */
+const std::vector<LintWhitelistEntry> &lintWhitelist();
+
+/**
+ * Lint one file's content. @p path selects scope-sensitive checks
+ * (src/ vs src/common/ vs tests/...) and should be repo-relative.
+ */
+std::vector<LintFinding>
+lintSource(const std::string &path, const std::string &content,
+           const std::vector<LintWhitelistEntry> &whitelist =
+               lintWhitelist());
+
+/**
+ * Lint every *.cc / *.hh under @p root's src, tools, bench, examples and
+ * tests directories. Findings are sorted by (file, line). On I/O failure
+ * returns what was gathered and sets *err.
+ */
+std::vector<LintFinding>
+lintTree(const std::string &root,
+         const std::vector<LintWhitelistEntry> &whitelist = lintWhitelist(),
+         std::string *err = nullptr);
+
+/**
+ * Strip comments, string literals (including raw strings) and char
+ * literals from C++ source, preserving newlines and length, so token
+ * scans cannot be fooled by quoted or commented text. Exposed for tests.
+ */
+std::string stripCode(const std::string &content);
+
+}  // namespace nord
+
+#endif  // NORD_VERIFY_LINT_SOURCE_LINT_HH

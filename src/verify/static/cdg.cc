@@ -27,28 +27,19 @@ constexpr std::size_t kMaxProblems = 32;
 
 /**
  * The worst-case steering table is deterministic per mesh shape and
- * perf-set size; cache it like NocSystem does (the verify matrix analyzes
- * the same shapes repeatedly, and the 8x8 greedy sweep is the single most
- * expensive step of the whole pass).
+ * perf-set size; share the process-wide CriticalityCache with NocSystem
+ * (the verify matrix analyzes the same shapes repeatedly, and the 8x8
+ * greedy sweep is the single most expensive step of the whole pass).
  */
 const std::vector<double> &
 cachedSteeringTable(const MeshTopology &mesh, const BypassRing &ring,
                     int perfCount)
 {
-    static std::map<std::tuple<int, int, int>, std::vector<double>> cache;
-    auto key = std::make_tuple(mesh.rows(), mesh.cols(), perfCount);
-    auto it = cache.find(key);
-    if (it == cache.end()) {
-        CriticalityAnalyzer analyzer(mesh, ring);
-        int count = perfCount;
-        if (count < 0)
-            count = CriticalityAnalyzer::kneePoint(analyzer.greedySweep());
-        std::vector<bool> on(static_cast<size_t>(mesh.numNodes()), false);
-        for (NodeId r : analyzer.performanceCentricSet(count))
-            on[r] = true;
-        it = cache.emplace(key, analyzer.distanceMatrixCycles(on)).first;
-    }
-    return it->second;
+    CriticalityCache &cache = CriticalityCache::instance();
+    int count = perfCount;
+    if (count < 0)
+        count = cache.knee(mesh, ring);
+    return cache.steering(mesh, ring, cache.perfSet(mesh, ring, count));
 }
 
 }  // namespace

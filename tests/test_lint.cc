@@ -1,0 +1,362 @@
+/**
+ * @file
+ * nord-lint engine tests.
+ *
+ * The planted-bug half feeds the lint the *pre-fix* shapes of real bugs
+ * this repo has had -- the three function-local static caches that used
+ * to live in src/network/noc_system.cc and the once-latched getenv()
+ * read from src/common/trace.cc -- and requires findings. The post-fix
+ * shapes (the whitelisted CriticalityCache singleton, the resettable
+ * trace atomic) must lint clean, as must the real source tree.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "verify/lint/source_lint.hh"
+
+namespace nord {
+namespace {
+
+std::vector<LintFinding>
+lint(const std::string &path, const std::string &content)
+{
+    return lintSource(path, content);
+}
+
+int
+countCheck(const std::vector<LintFinding> &fs, const std::string &check)
+{
+    int n = 0;
+    for (const LintFinding &f : fs)
+        n += f.check == check ? 1 : 0;
+    return n;
+}
+
+// ---------------------------------------------------------------------
+// Planted pre-fix bugs: the shapes nord-lint exists to catch.
+// ---------------------------------------------------------------------
+
+/** The three hidden criticality caches as they looked before the fix. */
+const char *kPreFixStaticCaches = R"cc(
+namespace nord {
+namespace {
+
+int
+cachedKnee(const MeshTopology &mesh, const BypassRing &ring)
+{
+    static std::map<std::pair<int, int>, int> knees;
+    const auto key = std::make_pair(mesh.rows(), mesh.cols());
+    auto it = knees.find(key);
+    if (it == knees.end())
+        it = knees.emplace(key, computeKnee(mesh, ring)).first;
+    return it->second;
+}
+
+const std::vector<NodeId> &
+cachedPerfSet(const MeshTopology &mesh, const BypassRing &ring, int count)
+{
+    static std::map<std::tuple<int, int, int>, std::vector<NodeId>> sets;
+    const auto key = std::make_tuple(mesh.rows(), mesh.cols(), count);
+    auto it = sets.find(key);
+    if (it == sets.end())
+        it = sets.emplace(key, computePerfSet(mesh, ring, count)).first;
+    return it->second;
+}
+
+const std::vector<double> &
+cachedSteering(const MeshTopology &mesh, const BypassRing &ring, int count)
+{
+    static std::map<std::tuple<int, int, int>, std::vector<double>> tables;
+    const auto key = std::make_tuple(mesh.rows(), mesh.cols(), count);
+    auto it = tables.find(key);
+    if (it == tables.end())
+        it = tables.emplace(key, computeSteering(mesh, ring, count)).first;
+    return it->second;
+}
+
+}  // namespace
+}  // namespace nord
+)cc";
+
+TEST(NordLint, PlantedStaticCachesAreFlagged)
+{
+    const std::vector<LintFinding> fs =
+        lint("src/network/noc_system.cc", kPreFixStaticCaches);
+    EXPECT_EQ(countCheck(fs, "mutable-static"), 3);
+    EXPECT_EQ(fs.size(), 3u) << "no other checks should fire";
+    // Findings are sorted by line.
+    ASSERT_EQ(fs.size(), 3u);
+    EXPECT_LT(fs[0].line, fs[1].line);
+    EXPECT_LT(fs[1].line, fs[2].line);
+}
+
+/** tracedPacket() as it looked before the fix: a once-latched env read. */
+const char *kPreFixTraceLatch = R"cc(
+namespace nord {
+
+PacketId
+tracedPacket()
+{
+    static const PacketId traced = [] {
+        const char *env = std::getenv("NORD_TRACE_PACKET");
+        if (!env)
+            return static_cast<PacketId>(0);
+        return static_cast<PacketId>(std::strtoull(env, nullptr, 10));
+    }();
+    return traced;
+}
+
+}  // namespace nord
+)cc";
+
+TEST(NordLint, PlantedTraceLatchIsFlagged)
+{
+    // src/common/ is exempt from the plain env-read ban, but an
+    // env-LATCHED static is banned everywhere -- that was the bug.
+    const std::vector<LintFinding> fs =
+        lint("src/common/trace.cc", kPreFixTraceLatch);
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].check, "env-latch");
+}
+
+// ---------------------------------------------------------------------
+// Post-fix shapes: whitelisted or clean by construction.
+// ---------------------------------------------------------------------
+
+const char *kPostFixCacheSingleton = R"cc(
+namespace nord {
+
+CriticalityCache &
+CriticalityCache::instance()
+{
+    static CriticalityCache cache;
+    return cache;
+}
+
+}  // namespace nord
+)cc";
+
+TEST(NordLint, WhitelistedSingletonIsCleanOnlyInItsFile)
+{
+    EXPECT_TRUE(
+        lint("src/topology/criticality.cc", kPostFixCacheSingleton)
+            .empty());
+    // The same shape anywhere else is still a finding: the whitelist is
+    // (file, check, token)-specific.
+    const std::vector<LintFinding> fs =
+        lint("src/network/noc_system.cc", kPostFixCacheSingleton);
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].check, "mutable-static");
+}
+
+const char *kPostFixTraceAtomic = R"cc(
+namespace nord {
+namespace {
+
+std::atomic<PacketId> &
+selection()
+{
+    static std::atomic<PacketId> selected{kUnset};
+    return selected;
+}
+
+}  // namespace
+}  // namespace nord
+)cc";
+
+TEST(NordLint, PostFixTraceSelectionIsClean)
+{
+    EXPECT_TRUE(
+        lint("src/common/trace.cc", kPostFixTraceAtomic).empty());
+}
+
+TEST(NordLint, WhitelistEntriesCarryStories)
+{
+    const std::vector<LintWhitelistEntry> &wl = lintWhitelist();
+    ASSERT_EQ(wl.size(), 2u);
+    for (const LintWhitelistEntry &w : wl) {
+        EXPECT_FALSE(w.fileSuffix.empty());
+        EXPECT_FALSE(w.token.empty());
+        EXPECT_GT(w.story.size(), 20u)
+            << w.fileSuffix << " needs a real justification";
+    }
+}
+
+// ---------------------------------------------------------------------
+// Individual checks.
+// ---------------------------------------------------------------------
+
+TEST(NordLint, ConstAndThreadLocalStaticsAreFine)
+{
+    const char *code = R"cc(
+static const int kTable[4] = {1, 2, 3, 4};
+static constexpr double kPi = 3.14159;
+static thread_local int scratch = 0;
+thread_local static int scratch2 = 0;
+static int helper(int x) { return x + 1; }
+)cc";
+    EXPECT_TRUE(lint("src/router/router.cc", code).empty());
+}
+
+TEST(NordLint, MutableStaticOutsideSrcIsNotOurBusiness)
+{
+    const char *code = "static int hits = 0;\n";
+    EXPECT_FALSE(lint("src/router/router.cc", code).empty());
+    EXPECT_TRUE(lint("tests/test_foo.cc", code).empty());
+    EXPECT_TRUE(lint("bench/bench_foo.cc", code).empty());
+}
+
+TEST(NordLint, AllowAnnotationSuppresses)
+{
+    const char *annotated =
+        "// nord-lint-allow(mutable-static): test scaffolding\n"
+        "static int hits = 0;\n";
+    EXPECT_TRUE(lint("src/router/router.cc", annotated).empty());
+
+    const char *sameLine =
+        "static int hits = 0;  // nord-lint-allow(mutable-static)\n";
+    EXPECT_TRUE(lint("src/router/router.cc", sameLine).empty());
+
+    const char *wrongCheck =
+        "// nord-lint-allow(env-read)\n"
+        "static int hits = 0;\n";
+    EXPECT_FALSE(lint("src/router/router.cc", wrongCheck).empty());
+}
+
+TEST(NordLint, EnvReadScope)
+{
+    const char *code = "const char *v = std::getenv(\"NORD_KNOB\");\n";
+    const std::vector<LintFinding> fs =
+        lint("src/network/noc_system.cc", code);
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].check, "env-read");
+    // The funnel point and non-library code may read the environment.
+    EXPECT_TRUE(lint("src/common/env.cc", code).empty());
+    EXPECT_TRUE(lint("tests/test_foo.cc", code).empty());
+    EXPECT_TRUE(lint("tools/nord_foo.cc", code).empty());
+}
+
+TEST(NordLint, StdioSideChannel)
+{
+    const char *code = "std::fprintf(stderr, \"boom\\n\");\n";
+    const std::vector<LintFinding> fs =
+        lint("src/router/router.cc", code);
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].check, "stdio-side-channel");
+    EXPECT_TRUE(lint("src/common/log.cc", code).empty());
+}
+
+TEST(NordLint, DeterminismChecks)
+{
+    const char *code = R"cc(
+int
+jitter()
+{
+    std::srand(42);
+    std::random_device rd;
+    long t = time(nullptr);
+    return rand() + static_cast<int>(t) + static_cast<int>(rd());
+}
+)cc";
+    // Applies to the whole tree, tools and tests included.
+    const std::vector<LintFinding> fs = lint("tools/nord_foo.cc", code);
+    EXPECT_EQ(countCheck(fs, "determinism"), 4);
+    // ... except the seeded wrapper that owns the library's randomness.
+    EXPECT_TRUE(lint("src/common/rng.cc", code).empty());
+}
+
+TEST(NordLint, DeterminismIgnoresLookalikes)
+{
+    const char *code = R"cc(
+int operand = srandom_marker;
+double uptime(Cycle now) { return now * 1e-9; }
+std::string timestamp = formatTime(cycle);
+)cc";
+    EXPECT_TRUE(lint("src/stats/network_stats.cc", code).empty());
+}
+
+TEST(NordLint, ClockedContract)
+{
+    const char *broken = R"cc(
+class BrokenProbe : public Clocked
+{
+  public:
+    void tick(Cycle now) override;
+    std::string name() const override;
+};
+)cc";
+    const std::vector<LintFinding> fs =
+        lint("src/verify/probe.hh", broken);
+    EXPECT_EQ(countCheck(fs, "clocked-serialize"), 1);
+    EXPECT_EQ(countCheck(fs, "clocked-ownership"), 1);
+    // Only headers under src/ are in scope.
+    EXPECT_TRUE(lint("tests/helpers.hh", broken).empty());
+
+    const char *complete = R"cc(
+class GoodProbe : public Clocked
+{
+  public:
+    void tick(Cycle now) override;
+    std::string name() const override;
+    void serializeState(StateSerializer &s) override;
+    void declareOwnership(OwnershipDeclarator &d) const override;
+};
+)cc";
+    EXPECT_TRUE(lint("src/verify/probe.hh", complete).empty());
+
+    const char *annotated = R"cc(
+/** Ephemeral; no persistent state.
+ *  nord-lint-allow(clocked-contract) */
+class StatelessProbe : public Clocked
+{
+  public:
+    void tick(Cycle now) override;
+    std::string name() const override;
+};
+)cc";
+    EXPECT_TRUE(lint("src/verify/probe.hh", annotated).empty());
+}
+
+TEST(NordLint, StripCodeIgnoresCommentsAndStrings)
+{
+    const char *code = R"cc(
+// static int commentedOut = 0;
+/* std::random_device inBlockComment; */
+const char *doc = "static int inString = 0; rand();";
+const char *raw = R"(std::getenv("X") time(nullptr))";
+)cc";
+    EXPECT_TRUE(lint("src/router/router.cc", code).empty());
+
+    const std::string stripped = stripCode(code);
+    EXPECT_EQ(stripped.size(), std::string(code).size())
+        << "stripping must preserve offsets";
+    EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'),
+              std::count(code, code + std::string(code).size(), '\n'));
+    EXPECT_EQ(stripped.find("commentedOut"), std::string::npos);
+    EXPECT_EQ(stripped.find("inString"), std::string::npos);
+    EXPECT_EQ(stripped.find("getenv"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// The real tree.
+// ---------------------------------------------------------------------
+
+#ifdef NORD_SOURCE_ROOT
+TEST(NordLint, RealSourceTreeIsClean)
+{
+    std::string err;
+    const std::vector<LintFinding> fs =
+        lintTree(NORD_SOURCE_ROOT, lintWhitelist(), &err);
+    EXPECT_TRUE(err.empty()) << err;
+    for (const LintFinding &f : fs)
+        ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.check
+                      << "] " << f.message;
+}
+#endif
+
+}  // namespace
+}  // namespace nord
