@@ -29,6 +29,8 @@
 #include <unistd.h>
 #endif
 
+#include "campaign/backoff.hh"
+#include "campaign/exit_codes.hh"
 #include "ckpt/checkpoint.hh"
 #include "ckpt/state_serializer.hh"
 #include "network/noc_system.hh"
@@ -227,23 +229,59 @@ struct SupervisorOptions
      */
     double hangTimeoutSec = 300.0;
 
-    /** Restarts after a crash or hang before giving up. */
+    /**
+     * CONSECUTIVE failures without sustained progress before giving up.
+     * A failure that follows resetAfterProgressSec of heartbeat progress
+     * starts a fresh streak: a campaign whose rare crashes are separated
+     * by hours of honest work is not punished like one that dies on
+     * startup in a loop.
+     */
     int maxRetries = 3;
 
-    /** Delay before the first restart; doubles per retry. */
+    /** Delay before the first restart of a streak. */
     double backoffSec = 1.0;
+
+    /** Hard cap on the restart delay; doubling stops here. */
+    double maxBackoffSec = 60.0;
+
+    /**
+     * Restart delay is drawn from [(1-j)*d, d] with a deterministic
+     * per-supervisor jitter, so a shared-cause crash (disk full, OOM
+     * sweep) does not restart every campaign on the machine in lockstep.
+     */
+    double jitterFraction = 0.5;
+
+    /** Heartbeat progress this long marks the streak as reset-worthy. */
+    double resetAfterProgressSec = 30.0;
+
+    /** Decorrelates the jitter of concurrent supervisors. */
+    std::uint64_t backoffNoise = 0;
 };
 
 /**
  * Run @p body in a supervised child process (POSIX). The child is
  * expected to checkpoint periodically to @p heartbeatPath; the file's
  * mtime is its heartbeat. The parent SIGKILLs a child that stops making
- * progress for opts.hangTimeoutSec and restarts after a crash or hang --
- * with exponential backoff, at most opts.maxRetries times -- passing
- * resume=true so the body restores from the last checkpoint. Returns the
- * child's exit code (0 = success), or the last failure's code once
- * retries are exhausted. On platforms without fork() the body runs
- * inline, unsupervised.
+ * progress for opts.hangTimeoutSec and restarts after a crash or hang,
+ * passing resume=true so the body restores from the last checkpoint.
+ *
+ * Restart policy (the anti-restart-storm rules):
+ *  - the delay before restart n of a streak is exponential from
+ *    opts.backoffSec, hard-capped at opts.maxBackoffSec, and jittered
+ *    by a deterministic multiplier (campaign::backoffDelaySec), so
+ *    concurrent supervisors hit by a shared-cause crash desynchronize;
+ *  - a failure that followed >= opts.resetAfterProgressSec of heartbeat
+ *    progress starts a NEW streak (backoff and retry budget reset);
+ *    opts.maxRetries bounds consecutive unproductive failures, not
+ *    lifetime restarts;
+ *  - a child exiting with a deterministic taxonomy code
+ *    (campaign::kExitGateFailure, kExitBadConfig) is NEVER restarted:
+ *    retrying reproduces the failure bit-exactly, so the supervisor
+ *    returns it immediately.
+ *
+ * Returns the child's exit code (0 = success), or the last failure's
+ * code once the streak budget is exhausted. On platforms without fork()
+ * the body runs inline, unsupervised.
  *
  * @param body campaign entry point; receives whether to resume from
  *        heartbeatPath and returns a process exit code
@@ -254,11 +292,21 @@ runSupervised(const std::string &heartbeatPath,
               const std::function<int(bool resume)> &body)
 {
 #if NORD_BENCH_HAVE_SUPERVISOR
-    auto mtime = [](const std::string &p, double *out) {
+    // Nanosecond mtimes: second-granular heartbeats would spuriously
+    // declare a hang whenever hangTimeoutSec < 1 (as the tests use).
+    auto mtimeNs = [](const std::string &p, std::uint64_t *out) {
         struct stat st;
         if (stat(p.c_str(), &st) != 0)
             return false;
-        *out = static_cast<double>(st.st_mtime);
+#if defined(__APPLE__)
+        *out = static_cast<std::uint64_t>(st.st_mtimespec.tv_sec) *
+                   1000000000ull +
+               static_cast<std::uint64_t>(st.st_mtimespec.tv_nsec);
+#else
+        *out = static_cast<std::uint64_t>(st.st_mtim.tv_sec) *
+                   1000000000ull +
+               static_cast<std::uint64_t>(st.st_mtim.tv_nsec);
+#endif
         return true;
     };
     auto wallClock = [] {
@@ -267,26 +315,31 @@ runSupervised(const std::string &heartbeatPath,
         return static_cast<double>(ts.tv_sec) +
                static_cast<double>(ts.tv_nsec) * 1e-9;
     };
+    const campaign::BackoffPolicy policy{
+        opts.backoffSec, opts.maxBackoffSec, opts.jitterFraction};
 
     int lastStatus = 1;
-    double backoff = opts.backoffSec;
-    for (int attempt = 0; attempt <= opts.maxRetries; ++attempt) {
-        double heartbeat0 = 0.0;
-        const bool haveCkpt = mtime(heartbeatPath, &heartbeat0);
+    int streak = 0;  // consecutive failures without sustained progress
+    for (int attempt = 0;; ++attempt) {
+        std::uint64_t heartbeat0 = 0;
+        const bool haveCkpt = mtimeNs(heartbeatPath, &heartbeat0);
         const bool resume = attempt > 0 && haveCkpt;
         if (attempt > 0) {
+            const double delay =
+                campaign::backoffDelaySec(policy, streak,
+                                          opts.backoffNoise);
             std::fprintf(stderr,
-                         "[supervisor] restart %d/%d (%s) in %.1fs\n",
-                         attempt, opts.maxRetries,
+                         "[supervisor] restart (streak %d/%d, %s) in "
+                         "%.2fs\n",
+                         streak, opts.maxRetries,
                          resume ? "resuming from checkpoint"
                                 : "no checkpoint yet, from scratch",
-                         backoff);
-            struct timespec delay;
-            delay.tv_sec = static_cast<time_t>(backoff);
-            delay.tv_nsec = static_cast<long>(
-                (backoff - static_cast<double>(delay.tv_sec)) * 1e9);
-            nanosleep(&delay, nullptr);
-            backoff *= 2.0;
+                         delay);
+            struct timespec d;
+            d.tv_sec = static_cast<time_t>(delay);
+            d.tv_nsec = static_cast<long>(
+                (delay - static_cast<double>(d.tv_sec)) * 1e9);
+            nanosleep(&d, nullptr);
         }
 
         const pid_t pid = fork();
@@ -298,29 +351,32 @@ runSupervised(const std::string &heartbeatPath,
         if (pid == 0)
             _exit(body(resume));
 
-        double lastProgress = wallClock();
-        double lastMtime = heartbeat0;
+        const double spawned = wallClock();
+        double lastProgress = spawned;
+        std::uint64_t lastMtime = heartbeat0;
+        bool progressed = false;
         bool killedForHang = false;
         int status = 0;
         for (;;) {
             const pid_t done = waitpid(pid, &status, WNOHANG);
             if (done == pid)
                 break;
-            double m = 0.0;
-            if (mtime(heartbeatPath, &m) && m != lastMtime) {
+            std::uint64_t m = 0;
+            if (mtimeNs(heartbeatPath, &m) && m != lastMtime) {
                 lastMtime = m;
                 lastProgress = wallClock();
+                progressed = true;
             }
             if (wallClock() - lastProgress > opts.hangTimeoutSec) {
                 std::fprintf(stderr, "[supervisor] no progress for "
-                             "%.0fs: killing hung campaign\n",
+                             "%.2fs: killing hung campaign\n",
                              opts.hangTimeoutSec);
                 kill(pid, SIGKILL);
                 waitpid(pid, &status, 0);
                 killedForHang = true;
                 break;
             }
-            struct timespec poll = {0, 200 * 1000 * 1000};
+            struct timespec poll = {0, 20 * 1000 * 1000};
             nanosleep(&poll, nullptr);
         }
         if (!killedForHang && WIFEXITED(status)) {
@@ -329,6 +385,14 @@ runSupervised(const std::string &heartbeatPath,
                 return 0;
             std::fprintf(stderr, "[supervisor] campaign exited with "
                          "code %d\n", lastStatus);
+            if (lastStatus == campaign::kExitGateFailure ||
+                lastStatus == campaign::kExitBadConfig) {
+                std::fprintf(stderr,
+                             "[supervisor] deterministic failure: a "
+                             "retry would reproduce it bit-exactly, "
+                             "not retrying\n");
+                return lastStatus;
+            }
         } else {
             lastStatus = 1;
             if (!killedForHang)
@@ -336,8 +400,17 @@ runSupervised(const std::string &heartbeatPath,
                              "(signal %d)\n",
                              WIFSIGNALED(status) ? WTERMSIG(status) : 0);
         }
+
+        const bool sustained =
+            progressed &&
+            wallClock() - spawned >= opts.resetAfterProgressSec;
+        streak = sustained ? 1 : streak + 1;
+        if (streak > opts.maxRetries)
+            break;
     }
-    std::fprintf(stderr, "[supervisor] giving up after %d retries\n",
+    std::fprintf(stderr,
+                 "[supervisor] giving up after %d consecutive "
+                 "unproductive failures\n",
                  opts.maxRetries);
     return lastStatus;
 #else

@@ -31,9 +31,16 @@
  *   --hang-timeout=SEC     supervisor hang threshold (default 300)
  *   --max-retries=N        supervisor restart budget (default 3)
  *   --out=FILE             write the JSON lines to FILE instead of stdout
- *   --min-delivered=F      fail (exit 1) when a zero-fault-rate transient
- *                          run delivers less than this fraction
+ *   --min-delivered=F      fail when a zero-fault-rate transient run
+ *                          delivers less than this fraction
  *                          (default 0.99)
+ *
+ * Exit codes follow the campaign taxonomy (src/campaign/exit_codes.hh),
+ * which is what lets a supervisor separate "retry me" from "quarantine
+ * me": 10 = the delivery gate failed (deterministic simulation result),
+ * 11 = bad configuration / stale checkpoint fingerprint (deterministic),
+ * 12 = infrastructure trouble (unreadable checkpoint, unwritable output;
+ * transient, retry may succeed).
  */
 
 #include <array>
@@ -250,19 +257,27 @@ runCampaign(const RunSpec &spec, int rows, int cols, Cycle measure,
         // so the system is rebuilt bare and overwritten wholesale.
         phase = ck.restorePhase;
         if (ck.restoreFingerprint != sys.configFingerprint()) {
+            // Deterministic: the checkpoint can never match this build
+            // again, so retrying under a supervisor must not happen.
             std::fprintf(stderr, "fatal: checkpoint configuration "
                          "fingerprint mismatch (campaign code or config "
                          "changed since the checkpoint was written)\n");
-            std::exit(2);
+            std::exit(campaign::kExitBadConfig);
         }
         if (phase == kPhaseMeasure)
             sys.setWorkload(&traffic);
         std::unique_ptr<StateSerializer> s = std::move(ck.restore);
         sys.loadState(*s);
         if (!s->ok() || !s->exhausted()) {
+            // Transient: discard the damaged artifact so the retry
+            // degrades to recomputation instead of hitting the same
+            // corrupt bytes forever.
             std::fprintf(stderr, "fatal: checkpoint restore failed: %s\n",
                          s->ok() ? "trailing bytes" : s->error().c_str());
-            std::exit(2);
+            if (std::remove(ck.path.c_str()) != 0) {
+                // Best effort; the supervisor may still restart clean.
+            }
+            std::exit(campaign::kExitInfraFailure);
         }
     } else {
         if (spec.deadRouter != kInvalidNode)
@@ -447,7 +462,7 @@ runWholeCampaign(const Options &opt, bool resume)
         if (!out) {
             std::fprintf(stderr, "cannot open %s for writing\n",
                          opt.outPath.c_str());
-            return 2;
+            return campaign::kExitInfraFailure;
         }
     }
     double baselineJ[4] = {0, 0, 0, 0};
@@ -481,7 +496,7 @@ runWholeCampaign(const Options &opt, bool resume)
                          "%.4f at fault rate 0\n",
                          pgDesignName(r.design), r.deliveredFraction(),
                          opt.minDelivered);
-            exitCode = 1;
+            exitCode = campaign::kExitGateFailure;
         }
     }
     return exitCode;
@@ -494,7 +509,7 @@ main(int argc, char **argv)
 {
     Options opt;
     if (!parseArgs(argc, argv, &opt))
-        return 2;
+        return campaign::kExitBadConfig;
 
     if (opt.supervise) {
         if (opt.checkpointPath.empty())

@@ -1,69 +1,5 @@
 #!/usr/bin/env bash
-# Kill-and-resume smoke test for the resilience_sweep campaign.
-#
-# 1. Runs the quick campaign uninterrupted to produce a reference JSON.
-# 2. Starts the same campaign with periodic checkpointing, SIGKILLs it
-#    mid-flight, then resumes from the last checkpoint.
-# 3. Requires the resumed run's final JSON to be byte-identical to the
-#    reference -- the acceptance criterion for bit-exact restore.
-#
-# Usage: scripts/kill_resume_smoke.sh [path-to-resilience_sweep]
-set -u
-
-BIN="${1:-build/bench/resilience_sweep}"
-WORK="$(mktemp -d)"
-trap 'rm -rf "$WORK"' EXIT
-
-REF="$WORK/ref.json"
-OUT="$WORK/resumed.json"
-CKPT="$WORK/sweep.ckpt"
-
-if [ ! -x "$BIN" ]; then
-    echo "error: $BIN not found or not executable" >&2
-    exit 1
-fi
-
-echo "[smoke] reference run (uninterrupted)..."
-if ! NORD_QUICK=1 "$BIN" --out="$REF" 2>/dev/null; then
-    echo "FAIL: reference campaign did not exit cleanly" >&2
-    exit 1
-fi
-
-echo "[smoke] checkpointed run, to be killed mid-campaign..."
-NORD_QUICK=1 "$BIN" --checkpoint="$CKPT" --checkpoint-every=300 \
-    --out="$OUT" 2>/dev/null &
-PID=$!
-
-# Wait until at least one checkpoint lands, then give the campaign a
-# moment to advance past it so the resume genuinely re-enters mid-run.
-for _ in $(seq 1 300); do
-    [ -f "$CKPT" ] && break
-    sleep 0.1
-done
-if [ ! -f "$CKPT" ]; then
-    kill -9 "$PID" 2>/dev/null
-    echo "FAIL: no checkpoint appeared within 30s" >&2
-    exit 1
-fi
-sleep 1
-kill -9 "$PID" 2>/dev/null
-wait "$PID" 2>/dev/null
-
-if [ -f "$OUT" ]; then
-    echo "FAIL: campaign finished before the kill; nothing to resume" >&2
-    exit 1
-fi
-
-echo "[smoke] resuming from $CKPT..."
-if ! NORD_QUICK=1 "$BIN" --resume-from="$CKPT" --checkpoint="$CKPT" \
-        --checkpoint-every=300 --out="$OUT"; then
-    echo "FAIL: resumed campaign did not exit cleanly" >&2
-    exit 1
-fi
-
-if ! diff -u "$REF" "$OUT"; then
-    echo "FAIL: resumed output differs from uninterrupted reference" >&2
-    exit 1
-fi
-
-echo "[smoke] PASS: resumed campaign output is byte-identical"
+# Retired into scripts/chaos_smoke.sh (Phase A is the original
+# kill-and-resume test; Phase B adds the campaign orchestrator). This
+# wrapper keeps old invocations working.
+exec "$(dirname "$0")/chaos_smoke.sh" "${1:-build/bench/resilience_sweep}"

@@ -1,0 +1,658 @@
+/**
+ * @file
+ * Campaign orchestrator implementation (see orchestrator.hh for the
+ * supervision rules and the byte-identical-report contract).
+ */
+
+#include "campaign/orchestrator.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+#define NORD_CAMPAIGN_POSIX 1
+#endif
+
+namespace nord {
+namespace campaign {
+
+namespace {
+
+// Drain latch set from the CLI's SIGINT/SIGTERM handlers; a
+// sig_atomic_t is the only type that is safe to touch there.
+// nord-lint-allow(mutable-static)
+volatile std::sig_atomic_t g_drainRequested = 0;
+
+/** Monotonic seconds: scheduling only, never simulation state. */
+double
+monotonicSec()
+{
+#ifdef NORD_CAMPAIGN_POSIX
+    struct timespec ts = {0, 0};
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+#else
+    return 0.0;
+#endif
+}
+
+#ifdef NORD_CAMPAIGN_POSIX
+
+void
+sleepSec(double sec)
+{
+    if (sec <= 0.0)
+        return;
+    struct timespec ts;
+    ts.tv_sec = static_cast<time_t>(sec);
+    ts.tv_nsec = static_cast<long>((sec - static_cast<double>(ts.tv_sec)) *
+                                   1e9);
+    nanosleep(&ts, nullptr);
+}
+
+/** Nanosecond mtime of @p path (false when it does not exist). */
+bool
+fileMtimeNs(const std::string &path, std::uint64_t *out)
+{
+    struct stat st;
+    if (stat(path.c_str(), &st) != 0)
+        return false;
+#if defined(__APPLE__)
+    *out = static_cast<std::uint64_t>(st.st_mtimespec.tv_sec) *
+               1000000000ull +
+           static_cast<std::uint64_t>(st.st_mtimespec.tv_nsec);
+#else
+    *out = static_cast<std::uint64_t>(st.st_mtim.tv_sec) * 1000000000ull +
+           static_cast<std::uint64_t>(st.st_mtim.tv_nsec);
+#endif
+    return true;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st;
+    return stat(path.c_str(), &st) == 0;
+}
+
+std::string
+readWholeFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::in | std::ios::binary);
+    if (!in)
+        return "";
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/**
+ * Last lines of @p path, capped at @p maxBytes and trimmed to a line
+ * boundary: the quarantine diagnostic a human reads first.
+ */
+std::string
+stderrTail(const std::string &path, std::size_t maxBytes = 2000)
+{
+    std::string all = readWholeFile(path);
+    while (!all.empty() && all.back() == '\n')
+        all.pop_back();
+    if (all.size() <= maxBytes)
+        return all;
+    std::string tail = all.substr(all.size() - maxBytes);
+    const std::size_t nl = tail.find('\n');
+    if (nl != std::string::npos && nl + 1 < tail.size())
+        tail = tail.substr(nl + 1);
+    return tail;
+}
+
+/**
+ * The worker result file is written atomically, so it either holds one
+ * complete JSON line or does not exist. Returns false on anything else.
+ */
+bool
+readResultLine(const std::string &path, std::string *out)
+{
+    std::string content = readWholeFile(path);
+    if (content.empty() || content.back() != '\n')
+        return false;
+    content.pop_back();
+    if (content.empty() || content.find('\n') != std::string::npos)
+        return false;
+    *out = std::move(content);
+    return true;
+}
+
+#endif  // NORD_CAMPAIGN_POSIX
+
+/** Scheduling state of one point inside the orchestrator loop. */
+enum class PointPhase : std::uint8_t
+{
+    kPending = 0,   ///< ready to launch
+    kWaiting = 1,   ///< in backoff, launch when readyAt passes
+    kRunning = 2,   ///< a live worker owns it
+    kDone = 3,
+    kQuarantined = 4,
+};
+
+struct PointRuntime
+{
+    PointPhase phase = PointPhase::kPending;
+    double readyAt = 0.0;  ///< backoff deadline (monotonic)
+};
+
+/** One live worker process. */
+struct WorkerSlot
+{
+    long pid = -1;
+    std::uint64_t point = 0;
+    double lastProgress = 0.0;   ///< spawn or last heartbeat (monotonic)
+    std::uint64_t lastMtimeNs = 0;
+    bool haveMtime = false;
+    bool killedForHang = false;
+    bool killedForChaos = false;
+};
+
+}  // namespace
+
+void
+requestCampaignDrain()
+{
+    g_drainRequested = 1;
+}
+
+void
+clearCampaignDrain()
+{
+    g_drainRequested = 0;
+}
+
+// --- Report rendering ---------------------------------------------------
+
+std::string
+renderReportJson(const std::vector<PointSpec> &specs,
+                 const ReplayState &state)
+{
+    std::uint64_t completed = 0;
+    std::uint64_t quarantined = 0;
+    std::uint64_t missing = 0;
+    std::string entries;
+    for (const PointSpec &spec : specs) {
+        const auto it = state.perPoint.find(spec.id);
+        const ReplayPoint *p =
+            it != state.perPoint.end() ? &it->second : nullptr;
+        if (!entries.empty())
+            entries += ",\n";
+        entries += "{\"spec\":" + specJson(spec);
+        if (p && p->done) {
+            ++completed;
+            entries += ",\"status\":\"completed\",\"result\":" +
+                       p->resultLine + "}";
+        } else if (p && p->quarantined) {
+            ++quarantined;
+            // Class / exit / signal are deterministic properties of the
+            // point; the stderr tail and checkpoint path are not (resume
+            // cycles vary with kill timing) and live in provenance.json.
+            entries += detail::formatString(
+                ",\"status\":\"quarantined\",\"class\":\"%s\","
+                "\"exit\":%d,\"signal\":%d}",
+                failureClassName(p->quarantine.cls),
+                p->quarantine.exitCode, p->quarantine.signal);
+        } else {
+            ++missing;
+            entries += ",\"status\":\"missing\"}";
+        }
+    }
+    std::string out = detail::formatString(
+        "{\n\"campaign\":{\"format\":%d,\"points\":%llu,"
+        "\"gridFp\":%llu},\n"
+        "\"summary\":{\"completed\":%llu,\"quarantined\":%llu,"
+        "\"missing\":%llu},\n\"points\":[\n",
+        kJournalFormat, static_cast<unsigned long long>(specs.size()),
+        static_cast<unsigned long long>(state.gridFp),
+        static_cast<unsigned long long>(completed),
+        static_cast<unsigned long long>(quarantined),
+        static_cast<unsigned long long>(missing));
+    out += entries;
+    out += "\n]}\n";
+    return out;
+}
+
+std::string
+renderReportCsv(const std::vector<PointSpec> &specs,
+                const ReplayState &state)
+{
+    std::string out =
+        "id,design,workload,rate,seed,faultRate,status,class,endCycle,"
+        "created,delivered,deliveredFraction,avgLatency,p99Latency,"
+        "avgHops,wakeups,offFraction,energyJ,drained\n";
+    static const char *kMetricCols[] = {
+        "endCycle", "created", "delivered", "deliveredFraction",
+        "avgLatency", "p99Latency", "avgHops", "wakeups", "offFraction",
+        "energyJ", "drained"};
+    for (const PointSpec &spec : specs) {
+        const auto it = state.perPoint.find(spec.id);
+        const ReplayPoint *p =
+            it != state.perPoint.end() ? &it->second : nullptr;
+        out += detail::formatString(
+            "%llu,%s,%s,%g,%llu,%g,",
+            static_cast<unsigned long long>(spec.id),
+            pgDesignName(spec.design), workloadName(spec).c_str(),
+            spec.rate, static_cast<unsigned long long>(spec.seed),
+            spec.faultRate);
+        if (p && p->done) {
+            out += "completed,";
+            for (const char *col : kMetricCols) {
+                std::string raw;
+                // Raw extraction keeps the worker's exact formatting, so
+                // the CSV inherits the report's byte-identity.
+                if (jsonFieldRaw(p->resultLine, col, &raw))
+                    out += raw;
+                out += ",";
+            }
+            out.pop_back();
+            out += "\n";
+        } else if (p && p->quarantined) {
+            out += detail::formatString(
+                "quarantined,%s,,,,,,,,,,,\n",
+                failureClassName(p->quarantine.cls));
+        } else {
+            out += "missing,,,,,,,,,,,,\n";
+        }
+    }
+    return out;
+}
+
+std::string
+renderProvenanceJson(const std::vector<PointSpec> &specs,
+                     const ReplayState &state, const std::string &outDir)
+{
+    std::string out = "{\n\"points\":[\n";
+    bool first = true;
+    for (const PointSpec &spec : specs) {
+        const auto it = state.perPoint.find(spec.id);
+        const ReplayPoint *p =
+            it != state.perPoint.end() ? &it->second : nullptr;
+        const PointPaths paths = pointPaths(outDir, spec.id);
+        if (!first)
+            out += ",\n";
+        first = false;
+        const char *status = "missing";
+        if (p && p->done)
+            status = "completed";
+        else if (p && p->quarantined)
+            status = "quarantined";
+        out += detail::formatString(
+            "{\"id\":%llu,\"status\":\"%s\",\"launches\":%d,"
+            "\"countedFailures\":%d,\"retried\":%d",
+            static_cast<unsigned long long>(spec.id), status,
+            p ? p->launches : 0, p ? p->countedFailures : 0,
+            p ? std::max(0, p->launches - 1) : 0);
+        if (p && p->quarantined) {
+            out += ",\"quarantine\":{\"class\":\"" +
+                   std::string(failureClassName(p->quarantine.cls)) +
+                   "\",\"stderrTail\":\"" +
+                   jsonEscape(p->quarantine.stderrTail) +
+                   "\",\"ckpt\":\"" +
+                   jsonEscape(p->quarantine.ckptPath) + "\"}";
+        }
+        out += ",\"artifacts\":{\"result\":\"" + jsonEscape(paths.result) +
+               "\",\"stderrLog\":\"" + jsonEscape(paths.stderrLog) +
+               "\",\"checkpoint\":\"" + jsonEscape(paths.checkpoint) +
+               "\"}}";
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+// --- The orchestrator loop ----------------------------------------------
+
+bool
+runCampaign(const std::vector<PointSpec> &specs,
+            const OrchestratorOptions &opts, CampaignOutcome *out,
+            std::string *err)
+{
+#ifndef NORD_CAMPAIGN_POSIX
+    (void)specs;
+    (void)opts;
+    (void)out;
+    if (err)
+        *err = "campaign orchestration requires a POSIX host";
+    return false;
+#else
+    CampaignOutcome outcome;
+    if (opts.outDir.empty()) {
+        if (err)
+            *err = "campaign outDir must not be empty";
+        return false;
+    }
+    // The scheduler indexes specs/runtime by point id; expandGrid's
+    // sequential ids are part of the journal's resume contract.
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (specs[i].id != i) {
+            if (err)
+                *err = "campaign point ids must be dense and ordered";
+            return false;
+        }
+    }
+    if (mkdir(opts.outDir.c_str(), 0755) != 0 && errno != EEXIST) {
+        if (err)
+            *err = detail::formatString("cannot create %s: %s",
+                                        opts.outDir.c_str(),
+                                        std::strerror(errno));
+        return false;
+    }
+
+    const std::uint64_t gridFp = gridFingerprint(specs);
+    CampaignJournal journal;
+    ReplayState state;
+    if (!journal.open(opts.outDir + "/journal.jsonl", specs.size(), gridFp,
+                      &state, err))
+        return false;
+    state.gridFp = gridFp;
+    state.points = specs.size();
+
+    std::vector<PointRuntime> runtime(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const auto it = state.perPoint.find(specs[i].id);
+        if (it == state.perPoint.end())
+            continue;
+        if (it->second.done)
+            runtime[i].phase = PointPhase::kDone;
+        else if (it->second.quarantined)
+            runtime[i].phase = PointPhase::kQuarantined;
+    }
+
+    std::vector<WorkerSlot> fleet;
+    Rng chaosRng(opts.chaos.seed);
+    double nextChaosAt = monotonicSec();
+    if (opts.chaos.enabled)
+        nextChaosAt += opts.chaos.meanIntervalSec *
+                       (0.5 + chaosRng.uniform());
+
+    const int maxWorkers = std::max(1, opts.workers);
+    const int maxFailures = std::max(1, opts.maxFailures);
+    bool orchestrationFailed = false;
+
+    auto killFleet = [&fleet]() {
+        for (WorkerSlot &slot : fleet) {
+            if (slot.pid > 0) {
+                kill(static_cast<pid_t>(slot.pid), SIGKILL);
+                int st = 0;
+                waitpid(static_cast<pid_t>(slot.pid), &st, 0);
+            }
+        }
+        fleet.clear();
+    };
+
+    /** Journal + schedule the consequences of one reaped worker. */
+    auto handleExit = [&](const WorkerSlot &slot, int wstatus) {
+        const std::uint64_t id = slot.point;
+        const PointPaths paths = pointPaths(opts.outDir, id);
+        const bool exited = WIFEXITED(wstatus);
+        const int exitCode = exited ? WEXITSTATUS(wstatus) : 0;
+        const bool signaled = WIFSIGNALED(wstatus);
+        const int sig = signaled ? WTERMSIG(wstatus) : 0;
+        FailureClass cls =
+            classifyExit(exited, exitCode, signaled, sig,
+                         slot.killedForHang, slot.killedForChaos);
+
+        if (cls == FailureClass::kNone) {
+            std::string result;
+            if (readResultLine(paths.result, &result)) {
+                journal.appendDone(id, result);
+                ReplayPoint &p = state.perPoint[id];
+                p.done = true;
+                p.resultLine = std::move(result);
+                runtime[id].phase = PointPhase::kDone;
+                return;
+            }
+            // Exit 0 without a result file: the worker lied, or the file
+            // vanished. Infrastructure trouble either way.
+            cls = FailureClass::kInfra;
+        }
+
+        const bool counted = failureCountsTowardQuarantine(cls);
+        const std::string tail = stderrTail(paths.stderrLog);
+        const std::string ckpt =
+            fileExists(paths.checkpoint) ? paths.checkpoint : "";
+        journal.appendFail(id, cls, exited ? exitCode : 0, sig, counted,
+                           tail, ckpt);
+        ReplayPoint &p = state.perPoint[id];
+        if (counted)
+            p.countedFailures += 1;
+
+        if (isDeterministicFailure(cls) ||
+            (counted && p.countedFailures >= maxFailures)) {
+            QuarantineRecord rec;
+            rec.cls = cls;
+            rec.exitCode = exited ? exitCode : 0;
+            rec.signal = sig;
+            rec.stderrTail = tail;
+            rec.ckptPath = ckpt;
+            journal.appendQuarantine(id, rec);
+            p.quarantined = true;
+            p.quarantine = rec;
+            runtime[id].phase = PointPhase::kQuarantined;
+            std::fprintf(diagStream(),
+                         "[campaign] point %llu quarantined (%s) after "
+                         "%d counted failure(s)\n",
+                         static_cast<unsigned long long>(id),
+                         failureClassName(cls), p.countedFailures);
+            return;
+        }
+
+        const int attempt = counted ? std::max(1, p.countedFailures) : 1;
+        const std::uint64_t noise =
+            gridFp ^ (id * 0x9e3779b97f4a7c15ULL);
+        runtime[id].phase = PointPhase::kWaiting;
+        runtime[id].readyAt =
+            monotonicSec() + backoffDelaySec(opts.backoff, attempt, noise);
+    };
+
+    auto spawn = [&](std::uint64_t id) -> bool {
+        const PointPaths paths = pointPaths(opts.outDir, id);
+        ReplayPoint &p = state.perPoint[id];
+        // Journal the attempt BEFORE forking: whatever the journal says
+        // happened, happened -- an attempt that was never journaled must
+        // never run.
+        if (!journal.appendAttempt(id, p.launches + 1))
+            return false;
+        p.launches += 1;
+        const pid_t pid = fork();
+        if (pid < 0) {
+            // Transient resource exhaustion: try again next tick.
+            std::fprintf(diagStream(), "[campaign] fork failed: %s\n",
+                         std::strerror(errno));
+            return false;
+        }
+        if (pid == 0) {
+            std::signal(SIGINT, SIG_DFL);
+            std::signal(SIGTERM, SIG_DFL);
+            // Truncate, don't append: the quarantine stderr tail must
+            // describe THIS attempt, not an accumulation of every prior
+            // kill (which would vary with chaos timing).
+            const int fd = ::open(paths.stderrLog.c_str(),
+                                  O_WRONLY | O_CREAT | O_TRUNC, 0644);
+            if (fd >= 0) {
+                if (dup2(fd, 2) < 0) {
+                    // Diagnostics stay on the inherited fd 2; harmless.
+                }
+                ::close(fd);
+            }
+            _exit(runPointWorker(specs[id], paths, opts.worker));
+        }
+        WorkerSlot slot;
+        slot.pid = pid;
+        slot.point = id;
+        slot.lastProgress = monotonicSec();
+        slot.haveMtime = fileMtimeNs(paths.checkpoint, &slot.lastMtimeNs);
+        fleet.push_back(slot);
+        runtime[id].phase = PointPhase::kRunning;
+        outcome.launches += 1;
+        return true;
+    };
+
+    while (true) {
+        if (g_drainRequested) {
+            outcome.interrupted = true;
+            break;
+        }
+        if (!journal.ok()) {
+            orchestrationFailed = true;
+            if (err)
+                *err = journal.error();
+            break;
+        }
+
+        // Reap.
+        for (std::size_t i = 0; i < fleet.size();) {
+            int wstatus = 0;
+            const pid_t r = waitpid(static_cast<pid_t>(fleet[i].pid),
+                                    &wstatus, WNOHANG);
+            if (r == static_cast<pid_t>(fleet[i].pid)) {
+                const WorkerSlot slot = fleet[i];
+                fleet.erase(fleet.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+                handleExit(slot, wstatus);
+            } else {
+                ++i;
+            }
+        }
+
+        const double now = monotonicSec();
+
+        // Heartbeats: a checkpoint mtime change is progress.
+        for (WorkerSlot &slot : fleet) {
+            const PointPaths paths = pointPaths(opts.outDir, slot.point);
+            std::uint64_t mt = 0;
+            if (fileMtimeNs(paths.checkpoint, &mt) &&
+                (!slot.haveMtime || mt != slot.lastMtimeNs)) {
+                slot.haveMtime = true;
+                slot.lastMtimeNs = mt;
+                slot.lastProgress = now;
+            }
+            if (!slot.killedForHang && !slot.killedForChaos &&
+                now - slot.lastProgress > opts.hangTimeoutSec) {
+                slot.killedForHang = true;
+                kill(static_cast<pid_t>(slot.pid), SIGKILL);
+                std::fprintf(diagStream(),
+                             "[campaign] point %llu hung (no heartbeat "
+                             "for %.1fs), killed worker %ld\n",
+                             static_cast<unsigned long long>(slot.point),
+                             opts.hangTimeoutSec, slot.pid);
+            }
+        }
+
+        // Chaos: kill a random live worker on the seeded schedule.
+        if (opts.chaos.enabled && now >= nextChaosAt &&
+            (opts.chaos.maxKills <= 0 ||
+             outcome.chaosKills <
+                 static_cast<std::uint64_t>(opts.chaos.maxKills))) {
+            nextChaosAt = now + opts.chaos.meanIntervalSec *
+                                    (0.5 + chaosRng.uniform());
+            std::vector<std::size_t> victims;
+            for (std::size_t i = 0; i < fleet.size(); ++i) {
+                if (!fleet[i].killedForHang && !fleet[i].killedForChaos)
+                    victims.push_back(i);
+            }
+            if (!victims.empty()) {
+                WorkerSlot &slot =
+                    fleet[victims[chaosRng.uniformInt(victims.size())]];
+                slot.killedForChaos = true;
+                kill(static_cast<pid_t>(slot.pid), SIGKILL);
+                outcome.chaosKills += 1;
+                std::fprintf(diagStream(),
+                             "[campaign] chaos: killed worker %ld "
+                             "(point %llu)\n",
+                             slot.pid,
+                             static_cast<unsigned long long>(slot.point));
+            }
+        }
+
+        // Launch, id order, while slots are free.
+        bool allTerminal = true;
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            PointRuntime &rt = runtime[i];
+            if (rt.phase == PointPhase::kDone ||
+                rt.phase == PointPhase::kQuarantined)
+                continue;
+            allTerminal = false;
+            if (static_cast<int>(fleet.size()) >= maxWorkers)
+                continue;
+            if (rt.phase == PointPhase::kPending ||
+                (rt.phase == PointPhase::kWaiting && now >= rt.readyAt)) {
+                if (!spawn(specs[i].id))
+                    break;
+            }
+        }
+        if (allTerminal)
+            break;
+
+        // Journal compaction keeps resume cost bounded on retry-heavy
+        // campaigns.
+        if (opts.rotateEvents > 0 && journal.events() > opts.rotateEvents)
+            journal.rotate(state);
+
+        sleepSec(opts.pollIntervalSec);
+    }
+
+    killFleet();
+
+    if (!orchestrationFailed && !journal.ok()) {
+        orchestrationFailed = true;
+        if (err)
+            *err = journal.error();
+    }
+    journal.close();
+
+    for (const PointSpec &spec : specs) {
+        const auto it = state.perPoint.find(spec.id);
+        if (it != state.perPoint.end() && it->second.done)
+            outcome.completed += 1;
+        else if (it != state.perPoint.end() && it->second.quarantined)
+            outcome.quarantined += 1;
+        else
+            outcome.missing += 1;
+    }
+
+    if (!orchestrationFailed) {
+        std::string werr;
+        outcome.reportJson = opts.outDir + "/report.json";
+        outcome.reportCsv = opts.outDir + "/report.csv";
+        outcome.provenance = opts.outDir + "/provenance.json";
+        if (!atomicWriteFile(outcome.reportJson,
+                             renderReportJson(specs, state), &werr) ||
+            !atomicWriteFile(outcome.reportCsv,
+                             renderReportCsv(specs, state), &werr) ||
+            !atomicWriteFile(outcome.provenance,
+                             renderProvenanceJson(specs, state,
+                                                  opts.outDir),
+                             &werr)) {
+            orchestrationFailed = true;
+            if (err)
+                *err = "report write failed: " + werr;
+        }
+    }
+
+    if (out)
+        *out = outcome;
+    return !orchestrationFailed;
+#endif  // NORD_CAMPAIGN_POSIX
+}
+
+}  // namespace campaign
+}  // namespace nord

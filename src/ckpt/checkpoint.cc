@@ -44,13 +44,42 @@ readAll(std::FILE *f, void *p, std::size_t n)
 std::uint64_t
 fnv1a(const std::vector<std::uint8_t> &bytes)
 {
-    std::uint64_t h = StateSerializer::kFnvOffset;
-    for (std::uint8_t b : bytes) {
-        h ^= b;
+    return fnv1aFold(StateSerializer::kFnvOffset,
+                     bytes.empty() ? nullptr : bytes.data(),
+                     bytes.size());
+}
+
+std::uint64_t
+fnv1aFold(std::uint64_t h, const void *p, std::size_t n)
+{
+    const auto *bytes = static_cast<const std::uint8_t *>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= bytes[i];
         h *= StateSerializer::kFnvPrime;
     }
     return h;
 }
+
+namespace {
+
+/** Digest of the header fields the payload hash cannot protect. */
+std::uint64_t
+headerDigest(const CheckpointMeta &meta, std::uint64_t paySize,
+             std::uint64_t payHash)
+{
+    std::uint64_t h = StateSerializer::kFnvOffset;
+    h = fnv1aFold(h, &meta.version, sizeof(meta.version));
+    h = fnv1aFold(h, &meta.configFingerprint,
+                  sizeof(meta.configFingerprint));
+    h = fnv1aFold(h, &meta.cycle, sizeof(meta.cycle));
+    h = fnv1aFold(h, meta.user.data(),
+                  sizeof(std::uint64_t) * meta.user.size());
+    h = fnv1aFold(h, &paySize, sizeof(paySize));
+    h = fnv1aFold(h, &payHash, sizeof(payHash));
+    return h;
+}
+
+}  // namespace
 
 bool
 writeCheckpointFile(const std::string &path, const CheckpointMeta &meta,
@@ -66,6 +95,7 @@ writeCheckpointFile(const std::string &path, const CheckpointMeta &meta,
     }
     const std::uint64_t paySize = payload.size();
     const std::uint64_t payHash = fnv1a(payload);
+    const std::uint64_t metaHash = headerDigest(meta, paySize, payHash);
     bool ok = writeAll(f, &kCheckpointMagic, sizeof(kCheckpointMagic)) &&
               writeAll(f, &meta.version, sizeof(meta.version)) &&
               writeAll(f, &meta.configFingerprint,
@@ -75,6 +105,7 @@ writeCheckpointFile(const std::string &path, const CheckpointMeta &meta,
                        sizeof(std::uint64_t) * meta.user.size()) &&
               writeAll(f, &paySize, sizeof(paySize)) &&
               writeAll(f, &payHash, sizeof(payHash)) &&
+              writeAll(f, &metaHash, sizeof(metaHash)) &&
               (payload.empty() ||
                writeAll(f, payload.data(), payload.size()));
     ok = (std::fflush(f) == 0) && ok;
@@ -113,6 +144,7 @@ readCheckpointFile(const std::string &path, CheckpointMeta *meta,
     CheckpointMeta m;
     std::uint64_t paySize = 0;
     std::uint64_t payHash = 0;
+    std::uint64_t metaHash = 0;
     bool ok = readAll(f, &magic, sizeof(magic)) &&
               readAll(f, &m.version, sizeof(m.version)) &&
               readAll(f, &m.configFingerprint,
@@ -121,7 +153,8 @@ readCheckpointFile(const std::string &path, CheckpointMeta *meta,
               readAll(f, m.user.data(),
                       sizeof(std::uint64_t) * m.user.size()) &&
               readAll(f, &paySize, sizeof(paySize)) &&
-              readAll(f, &payHash, sizeof(payHash));
+              readAll(f, &payHash, sizeof(payHash)) &&
+              readAll(f, &metaHash, sizeof(metaHash));
     if (!ok) {
         std::fclose(f);
         setErr(err, detail::formatString("truncated checkpoint header in %s",
@@ -141,6 +174,16 @@ readCheckpointFile(const std::string &path, CheckpointMeta *meta,
                         "checkpoint version mismatch in %s: file has v%u, "
                         "this build reads v%u",
                         path.c_str(), m.version, kCheckpointVersion));
+        return false;
+    }
+    // Validate the header digest before paySize is trusted for the body
+    // allocation: a flipped size bit must be caught here, not by an
+    // attempted multi-exabyte vector.
+    if (headerDigest(m, paySize, payHash) != metaHash) {
+        std::fclose(f);
+        setErr(err, detail::formatString("checkpoint header digest mismatch "
+                                         "in %s (file corrupt)",
+                                         path.c_str()));
         return false;
     }
     std::vector<std::uint8_t> body(static_cast<std::size_t>(paySize));

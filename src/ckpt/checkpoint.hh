@@ -12,14 +12,18 @@
  *   user[4]  u64  campaign-defined metadata (phase, run index, ...)
  *   paySize  u64  payload length in bytes
  *   payHash  u64  FNV-1a of the payload bytes (detects truncation/rot)
+ *   metaHash u64  FNV-1a of version..payHash (detects header bit rot)
  *   payload  u8[paySize]
  *
  * Files are written to "<path>.tmp" and atomically renamed into place, so
  * a crash mid-write can never destroy the previous good checkpoint -- the
  * invariant the resilient campaign runner's restore path depends on.
- * Readers validate magic, version, size and payload hash before returning
- * any bytes; every failure is reported as a recoverable error string, never
- * a panic.
+ * Readers validate magic, version, header digest, size and payload hash
+ * before returning any bytes; a single flipped bit anywhere in the file
+ * is rejected (the metaHash covers the fields -- cycle, user metadata,
+ * paySize -- that the payload hash cannot see, and is checked before
+ * paySize is trusted for an allocation). Every failure is reported as a
+ * recoverable error string, never a panic.
  */
 
 #ifndef NORD_CKPT_CHECKPOINT_HH
@@ -34,8 +38,8 @@
 
 namespace nord {
 
-/** Current checkpoint container format version. */
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+/** Current checkpoint container format version (2: header digest). */
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /** File magic ("NRDC" little-endian). */
 inline constexpr std::uint32_t kCheckpointMagic = 0x4344524eu;
@@ -68,6 +72,9 @@ bool readCheckpointFile(const std::string &path, CheckpointMeta *meta,
 
 /** FNV-1a 64-bit digest of a byte buffer. */
 std::uint64_t fnv1a(const std::vector<std::uint8_t> &bytes);
+
+/** Fold @p n raw bytes at @p p into a running FNV-1a digest @p h. */
+std::uint64_t fnv1aFold(std::uint64_t h, const void *p, std::size_t n);
 
 }  // namespace nord
 

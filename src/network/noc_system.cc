@@ -531,22 +531,41 @@ NocSystem::loadCheckpoint(const std::string &path,
                    "(different topology/design/seed/fault settings)";
         return false;
     }
+    // Snapshot the live state before the load walk so a payload that
+    // passes the container hashes but fails mid-walk (format drift,
+    // trailing bytes, clock disagreement) cannot leave the system half
+    // overwritten: the load is transactional, callers may retry or
+    // restart from scratch on the same object.
+    StateSerializer snap(SerialMode::kSave);
+    serializeState(snap);
+    if (!snap.ok()) {
+        if (err)
+            *err = snap.error();
+        return false;
+    }
+    auto rollback = [this, &snap]() {
+        StateSerializer undo(snap.takeBuffer());
+        serializeState(undo);
+    };
     StateSerializer s(std::move(payload));
     serializeState(s);
     if (!s.ok()) {
         if (err)
             *err = s.error();
+        rollback();
         return false;
     }
     if (!s.exhausted()) {
         if (err)
             *err = "checkpoint payload has trailing bytes (format drift)";
+        rollback();
         return false;
     }
     if (meta.cycle != kernel_.now()) {
         if (err)
             *err = "checkpoint header cycle disagrees with restored "
                    "kernel clock";
+        rollback();
         return false;
     }
     if (user)

@@ -95,6 +95,7 @@ struct Scope
     bool underSrc = false;     ///< src/...
     bool underCommon = false;  ///< src/common/...
     bool isRngWrapper = false; ///< src/common/rng.{hh,cc}
+    bool durability = false;   ///< src/ckpt/... or src/campaign/...
     bool header = false;       ///< *.hh
 };
 
@@ -113,6 +114,7 @@ classify(const std::string &path)
     s.underSrc = within("src");
     s.underCommon = within("src/common");
     s.isRngWrapper = p.find("src/common/rng.") != std::string::npos;
+    s.durability = within("src/ckpt") || within("src/campaign");
     s.header = p.size() > 3 && p.compare(p.size() - 3, 3, ".hh") == 0;
     return s;
 }
@@ -378,6 +380,61 @@ checkDeterminism(const std::string &path, const std::string &original,
 }
 
 void
+checkUncheckedIo(const std::string &path, const std::string &original,
+                 const std::string &stripped, const Scope &scope,
+                 std::vector<LintFinding> &out)
+{
+    // Durability code (checkpoints, the campaign journal) must never
+    // drop an I/O result: an ignored fwrite/fsync/rename is exactly how
+    // a "durable" journal silently loses its tail on a full disk. The
+    // heuristic flags a call used as a bare statement -- the last
+    // non-space character before the call (skipping a std:: qualifier)
+    // is a statement boundary, so the return value cannot have been
+    // consumed. `if (fsync(fd) != 0)` and `(void)fflush(f)` both pass:
+    // the first checks, the second at least states intent.
+    if (!scope.durability)
+        return;
+    static const struct
+    {
+        const char *word;
+        size_t len;
+    } kCalls[] = {{"fwrite", 6}, {"fflush", 6}, {"rename", 6},
+                  {"fsync", 5}};
+    for (const auto &c : kCalls) {
+        for (size_t i = stripped.find(c.word); i != std::string::npos;
+             i = stripped.find(c.word, i + c.len)) {
+            if (!isWordAt(stripped, i, c.word, c.len))
+                continue;
+            size_t j = i + c.len;
+            while (j < stripped.size() &&
+                   std::isspace(static_cast<unsigned char>(stripped[j])))
+                ++j;
+            if (j >= stripped.size() || stripped[j] != '(')
+                continue;  // not a call (declaration, comment token, ...)
+            size_t b = i;
+            if (b >= 5 && stripped.compare(b - 5, 5, "std::") == 0)
+                b -= 5;
+            while (b > 0 && std::isspace(
+                                static_cast<unsigned char>(stripped[b - 1])))
+                --b;
+            const char prev = b > 0 ? stripped[b - 1] : ';';
+            if (prev != ';' && prev != '{' && prev != '}')
+                continue;
+            const int line = lineOf(stripped, i);
+            if (allowedAt(original, line, "unchecked-io", nullptr))
+                continue;
+            out.push_back({path, line, "unchecked-io",
+                           std::string(c.word) +
+                               "() result discarded in durability code: a "
+                               "failed write/flush/rename must be "
+                               "detected, not assumed (check the return, "
+                               "or annotate a deliberate best-effort call "
+                               "with nord-lint-allow(unchecked-io))"});
+        }
+    }
+}
+
+void
 checkClockedContract(const std::string &path, const std::string &original,
                      const std::string &stripped, const Scope &scope,
                      std::vector<LintFinding> &out)
@@ -572,6 +629,7 @@ lintSource(const std::string &path, const std::string &content,
     checkEnvReads(path, content, stripped, scope, out);
     checkStdio(path, content, stripped, scope, out);
     checkDeterminism(path, content, stripped, scope, out);
+    checkUncheckedIo(path, content, stripped, scope, out);
     checkClockedContract(path, content, stripped, scope, out);
     std::sort(out.begin(), out.end(),
               [](const LintFinding &a, const LintFinding &b) {

@@ -23,6 +23,10 @@
  *    time() anywhere in src/tools/bench/examples/tests except the
  *    seeded generator src/common/rng.* (absorbed from the retired
  *    scripts/determinism_lint.sh);
+ *  - unchecked-io: fwrite/fflush/fsync/rename called as a bare statement
+ *    (result discarded) in the durability layers src/ckpt/ and
+ *    src/campaign/ -- an ignored I/O result there is how a "durable"
+ *    journal silently loses its tail on a full disk;
  *  - clocked-contract: every class deriving directly from Clocked in a
  *    src/ header must declare both serializeState (checkpointable) and
  *    declareOwnership (shard-safety contract).

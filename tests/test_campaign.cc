@@ -1,0 +1,590 @@
+/**
+ * @file
+ * Campaign orchestrator tests: the crash-resumable work queue.
+ *
+ * The contract under test mirrors the checkpoint suite's, one level up:
+ * the aggregate report is a pure function of the grid. Any sequence of
+ * worker crashes, chaos kills, journal truncations and orchestrator
+ * re-execs must yield byte-identical report.json / report.csv. The unit
+ * half exercises the pieces (exit taxonomy, backoff determinism, grid
+ * expansion, journal replay/rotation); the end-to-end half forks real
+ * worker fleets against tiny grids.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/backoff.hh"
+#include "campaign/campaign_point.hh"
+#include "campaign/exit_codes.hh"
+#include "campaign/journal.hh"
+#include "campaign/orchestrator.hh"
+
+namespace nord {
+namespace campaign {
+namespace {
+
+std::string
+tmpPath(const std::string &name)
+{
+    return ::testing::TempDir() + "/" + name;
+}
+
+/** A campaign out-dir guaranteed fresh: TempDir persists across runs,
+ *  and a leftover journal would make the campaign resume-to-terminal
+ *  instead of actually running. */
+std::string
+freshDir(const std::string &name)
+{
+    const std::string dir = tmpPath(name);
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    return dir;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::in | std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+void
+spew(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::out | std::ios::binary |
+                                std::ios::trunc);
+    out << bytes;
+}
+
+// ---------------------------------------------------------------------
+// Exit-code taxonomy.
+// ---------------------------------------------------------------------
+
+TEST(CampaignExitCodes, ClassificationTable)
+{
+    EXPECT_EQ(classifyExit(true, kExitOk, false, 0),
+              FailureClass::kNone);
+    EXPECT_EQ(classifyExit(true, kExitGateFailure, false, 0),
+              FailureClass::kGate);
+    EXPECT_EQ(classifyExit(true, kExitBadConfig, false, 0),
+              FailureClass::kBadConfig);
+    EXPECT_EQ(classifyExit(true, kExitInfraFailure, false, 0),
+              FailureClass::kInfra);
+    // Outside the taxonomy: asserts (134 via abort is a signal, but a
+    // plain exit(1)) and sanitizer exits classify as unknown -> retried.
+    EXPECT_EQ(classifyExit(true, 1, false, 0), FailureClass::kUnknown);
+    EXPECT_EQ(classifyExit(true, 2, false, 0), FailureClass::kUnknown);
+    EXPECT_EQ(classifyExit(false, 0, true, SIGSEGV),
+              FailureClass::kCrash);
+    // Supervisor-inflicted kills override the raw wait status.
+    EXPECT_EQ(classifyExit(false, 0, true, SIGKILL, true, false),
+              FailureClass::kHang);
+    EXPECT_EQ(classifyExit(false, 0, true, SIGKILL, false, true),
+              FailureClass::kChaos);
+    EXPECT_EQ(classifyExit(false, 0, true, SIGKILL, true, true),
+              FailureClass::kChaos) << "chaos attribution wins: the "
+                                       "schedule killed it first";
+}
+
+TEST(CampaignExitCodes, RetryAndQuarantineSemantics)
+{
+    EXPECT_TRUE(isDeterministicFailure(FailureClass::kGate));
+    EXPECT_TRUE(isDeterministicFailure(FailureClass::kBadConfig));
+    EXPECT_FALSE(isDeterministicFailure(FailureClass::kInfra));
+    EXPECT_FALSE(isDeterministicFailure(FailureClass::kCrash));
+    EXPECT_FALSE(isDeterministicFailure(FailureClass::kHang));
+    EXPECT_FALSE(isDeterministicFailure(FailureClass::kChaos));
+    EXPECT_FALSE(isDeterministicFailure(FailureClass::kUnknown));
+
+    EXPECT_FALSE(failureCountsTowardQuarantine(FailureClass::kNone));
+    EXPECT_FALSE(failureCountsTowardQuarantine(FailureClass::kChaos))
+        << "chaos kills are the supervisor's own doing and must never "
+           "charge the point's budget";
+    EXPECT_TRUE(failureCountsTowardQuarantine(FailureClass::kInfra));
+    EXPECT_TRUE(failureCountsTowardQuarantine(FailureClass::kHang));
+    EXPECT_TRUE(failureCountsTowardQuarantine(FailureClass::kCrash));
+}
+
+TEST(CampaignExitCodes, ClassNamesRoundTrip)
+{
+    for (int i = 0; i <= static_cast<int>(FailureClass::kUnknown); ++i) {
+        const FailureClass c = static_cast<FailureClass>(i);
+        EXPECT_EQ(failureClassFromName(failureClassName(c)), c);
+    }
+    EXPECT_EQ(failureClassFromName("not-a-class"),
+              FailureClass::kUnknown);
+}
+
+// ---------------------------------------------------------------------
+// Backoff.
+// ---------------------------------------------------------------------
+
+TEST(CampaignBackoff, DeterministicCappedAndBounded)
+{
+    BackoffPolicy p;
+    p.initialSec = 0.25;
+    p.maxSec = 4.0;
+    p.jitterFraction = 0.5;
+    for (int attempt = 1; attempt <= 24; ++attempt) {
+        const double d = backoffDelaySec(p, attempt, 0x1234);
+        EXPECT_EQ(d, backoffDelaySec(p, attempt, 0x1234))
+            << "replayed campaigns must reschedule identically";
+        EXPECT_GT(d, 0.0);
+        EXPECT_LE(d, p.maxSec);
+        // Jitter only shrinks the base delay, never below (1-j) of it.
+        double base = p.initialSec;
+        for (int i = 1; i < attempt && base < p.maxSec; ++i)
+            base *= 2.0;
+        base = std::min(base, p.maxSec);
+        EXPECT_GE(d, base * (1.0 - p.jitterFraction) - 1e-12);
+    }
+}
+
+TEST(CampaignBackoff, ZeroJitterIsExactDoubling)
+{
+    BackoffPolicy p;
+    p.initialSec = 0.5;
+    p.maxSec = 8.0;
+    p.jitterFraction = 0.0;
+    EXPECT_DOUBLE_EQ(backoffDelaySec(p, 1, 7), 0.5);
+    EXPECT_DOUBLE_EQ(backoffDelaySec(p, 2, 7), 1.0);
+    EXPECT_DOUBLE_EQ(backoffDelaySec(p, 3, 7), 2.0);
+    EXPECT_DOUBLE_EQ(backoffDelaySec(p, 4, 7), 4.0);
+    EXPECT_DOUBLE_EQ(backoffDelaySec(p, 5, 7), 8.0);
+    EXPECT_DOUBLE_EQ(backoffDelaySec(p, 9, 7), 8.0) << "capped";
+}
+
+TEST(CampaignBackoff, DistinctNoiseDesynchronizes)
+{
+    // The whole reason jitter exists: two points that fail together must
+    // not retry together.
+    BackoffPolicy p;
+    int differing = 0;
+    for (int attempt = 1; attempt <= 8; ++attempt) {
+        if (backoffDelaySec(p, attempt, 1) !=
+            backoffDelaySec(p, attempt, 2))
+            ++differing;
+    }
+    EXPECT_GE(differing, 6);
+}
+
+// ---------------------------------------------------------------------
+// Grid expansion.
+// ---------------------------------------------------------------------
+
+TEST(CampaignGrid, ExpansionOrderIdsAndFingerprint)
+{
+    GridSpec grid;
+    grid.designs = {PgDesign::kNord, PgDesign::kConvPg};
+    grid.patterns = {TrafficPattern::kUniformRandom,
+                     TrafficPattern::kTranspose};
+    grid.parsec = {"blackscholes"};
+    grid.rates = {0.05, 0.10};
+    grid.faultRates = {0.0, 1e-4};
+    grid.seeds = {1, 2};
+
+    const std::vector<PointSpec> specs = expandGrid(grid);
+    // Per design: 2 patterns x 2 rates + 1 parsec (closed loop, no rate
+    // axis), then x 2 fault rates x 2 seeds.
+    EXPECT_EQ(specs.size(), 2u * (2 * 2 + 1) * 2 * 2);
+    for (std::size_t i = 0; i < specs.size(); ++i)
+        EXPECT_EQ(specs[i].id, i) << "ids must be dense and sequential";
+    // Design is the major axis.
+    EXPECT_EQ(specs.front().design, PgDesign::kNord);
+    EXPECT_EQ(specs.back().design, PgDesign::kConvPg);
+
+    // The fingerprint is stable and sensitive.
+    const std::uint64_t fp = gridFingerprint(specs);
+    EXPECT_EQ(fp, gridFingerprint(expandGrid(grid)));
+    grid.seeds = {1, 3};
+    EXPECT_NE(fp, gridFingerprint(expandGrid(grid)));
+}
+
+TEST(CampaignGrid, SpecJsonIsCanonical)
+{
+    PointSpec spec;
+    spec.id = 7;
+    const std::string j = specJson(spec);
+    EXPECT_EQ(j, specJson(spec)) << "byte layout is a resume contract";
+    EXPECT_NE(j.find("\"id\":7"), std::string::npos) << j;
+    EXPECT_EQ(j.find('\n'), std::string::npos) << "one line";
+}
+
+// ---------------------------------------------------------------------
+// Journal.
+// ---------------------------------------------------------------------
+
+TEST(CampaignJournalTest, AppendReplayRoundTrip)
+{
+    const std::string path = tmpPath("journal_roundtrip.jsonl");
+    std::remove(path.c_str());
+
+    ReplayState replay;
+    std::string err;
+    {
+        CampaignJournal j;
+        ASSERT_TRUE(j.open(path, 3, 0xabcdef, &replay, &err)) << err;
+        EXPECT_FALSE(replay.tornTail);
+        EXPECT_TRUE(j.appendAttempt(0, 1));
+        EXPECT_TRUE(j.appendDone(0, "{\"x\":1,\"y\":\"a b\"}"));
+        EXPECT_TRUE(j.appendAttempt(1, 1));
+        EXPECT_TRUE(j.appendFail(1, FailureClass::kInfra,
+                                 kExitInfraFailure, 0, true, "tail\ntxt",
+                                 "p1.ckpt"));
+        QuarantineRecord q;
+        q.cls = FailureClass::kGate;
+        q.exitCode = kExitGateFailure;
+        q.stderrTail = "gate said no";
+        q.ckptPath = "p2.ckpt";
+        EXPECT_TRUE(j.appendQuarantine(2, q));
+        j.close();
+    }
+    {
+        CampaignJournal j;
+        ASSERT_TRUE(j.open(path, 3, 0xabcdef, &replay, &err)) << err;
+        EXPECT_TRUE(replay.opened);
+        EXPECT_TRUE(replay.perPoint[0].done);
+        EXPECT_EQ(replay.perPoint[0].resultLine,
+                  "{\"x\":1,\"y\":\"a b\"}")
+            << "result bytes must round-trip verbatim";
+        EXPECT_EQ(replay.perPoint[1].countedFailures, 1);
+        EXPECT_EQ(replay.perPoint[1].launches, 1);
+        EXPECT_FALSE(replay.perPoint[1].done);
+        EXPECT_TRUE(replay.perPoint[2].quarantined);
+        EXPECT_EQ(replay.perPoint[2].quarantine.cls,
+                  FailureClass::kGate);
+        EXPECT_EQ(replay.perPoint[2].quarantine.exitCode,
+                  kExitGateFailure);
+        EXPECT_EQ(replay.perPoint[2].quarantine.stderrTail,
+                  "gate said no");
+        j.close();
+    }
+    // A different grid must refuse the journal, not silently mix runs.
+    CampaignJournal other;
+    EXPECT_FALSE(other.open(path, 3, 0x999999, &replay, &err));
+    EXPECT_FALSE(other.open(path, 4, 0xabcdef, &replay, &err));
+    std::remove(path.c_str());
+}
+
+TEST(CampaignJournalTest, TornTailIgnoredAndRepaired)
+{
+    const std::string path = tmpPath("journal_torn.jsonl");
+    std::remove(path.c_str());
+    ReplayState replay;
+    std::string err;
+    {
+        CampaignJournal j;
+        ASSERT_TRUE(j.open(path, 2, 0x42, &replay, &err)) << err;
+        ASSERT_TRUE(j.appendAttempt(0, 1));
+        ASSERT_TRUE(j.appendDone(0, "{\"ok\":true}"));
+        j.close();
+    }
+    // Simulate a crash mid-append: a final line with no newline.
+    const std::string intact = slurp(path);
+    spew(path, intact + "{\"event\":\"done\",\"point\":1,\"resu");
+    {
+        CampaignJournal j;
+        ASSERT_TRUE(j.open(path, 2, 0x42, &replay, &err)) << err;
+        EXPECT_TRUE(replay.tornTail)
+            << "the torn line is a crash artifact, not an event";
+        EXPECT_TRUE(replay.perPoint[0].done);
+        EXPECT_FALSE(replay.perPoint[1].done);
+        // open() truncates the torn bytes so the next append starts on
+        // a clean line boundary.
+        ASSERT_TRUE(j.appendDone(1, "{\"ok\":true}"));
+        j.close();
+    }
+    {
+        CampaignJournal j;
+        ASSERT_TRUE(j.open(path, 2, 0x42, &replay, &err)) << err;
+        EXPECT_FALSE(replay.tornTail);
+        EXPECT_TRUE(replay.perPoint[1].done);
+        j.close();
+    }
+    std::remove(path.c_str());
+}
+
+TEST(CampaignJournalTest, RotationCompactsPreservingState)
+{
+    const std::string path = tmpPath("journal_rotate.jsonl");
+    std::remove(path.c_str());
+    ReplayState replay;
+    std::string err;
+    CampaignJournal j;
+    ASSERT_TRUE(j.open(path, 2, 0x77, &replay, &err)) << err;
+    // Heavy retry traffic on point 0, then success; quarantine point 1.
+    for (int n = 1; n <= 20; ++n) {
+        ASSERT_TRUE(j.appendAttempt(0, n));
+        ASSERT_TRUE(j.appendFail(0, FailureClass::kCrash, 0, SIGSEGV,
+                                 true, "boom", ""));
+    }
+    ASSERT_TRUE(j.appendAttempt(0, 21));
+    ASSERT_TRUE(j.appendDone(0, "{\"fine\":1}"));
+    QuarantineRecord q;
+    q.cls = FailureClass::kHang;
+    q.signal = SIGKILL;
+    ASSERT_TRUE(j.appendQuarantine(1, q));
+
+    const std::size_t before = slurp(path).size();
+    ReplayState state;
+    ASSERT_TRUE(CampaignJournal::replayContent(slurp(path), 2, 0x77,
+                                               &state, &err))
+        << err;
+    ASSERT_TRUE(j.rotate(state)) << j.error();
+    j.close();
+
+    EXPECT_LT(slurp(path).size(), before);
+    CampaignJournal j2;
+    ASSERT_TRUE(j2.open(path, 2, 0x77, &replay, &err)) << err;
+    EXPECT_TRUE(replay.perPoint[0].done);
+    EXPECT_EQ(replay.perPoint[0].resultLine, "{\"fine\":1}");
+    EXPECT_EQ(replay.perPoint[0].countedFailures, 20)
+        << "counted totals survive compaction";
+    EXPECT_TRUE(replay.perPoint[1].quarantined);
+    EXPECT_EQ(replay.perPoint[1].quarantine.cls, FailureClass::kHang);
+    j2.close();
+    std::remove(path.c_str());
+}
+
+TEST(CampaignJournalTest, LockExcludesSecondOrchestrator)
+{
+    const std::string path = tmpPath("journal_lock.jsonl");
+    std::remove(path.c_str());
+    ReplayState replay;
+    std::string err;
+    CampaignJournal j1;
+    ASSERT_TRUE(j1.open(path, 1, 0x1, &replay, &err)) << err;
+    CampaignJournal j2;
+    EXPECT_FALSE(j2.open(path, 1, 0x1, &replay, &err))
+        << "two live orchestrators would interleave journal writes";
+    j1.close();
+    CampaignJournal j3;
+    EXPECT_TRUE(j3.open(path, 1, 0x1, &replay, &err)) << err;
+    j3.close();
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Report rendering (pure function of replayed state).
+// ---------------------------------------------------------------------
+
+TEST(CampaignReport, RenderingIsDeterministic)
+{
+    GridSpec grid;
+    grid.seeds = {1, 2, 3};
+    grid.measure = 100;
+    const std::vector<PointSpec> specs = expandGrid(grid);
+
+    ReplayState state;
+    state.opened = true;
+    state.points = specs.size();
+    state.perPoint[0].done = true;
+    state.perPoint[0].resultLine =
+        "{\"created\":10,\"delivered\":10,\"deliveredFraction\":1.0000}";
+    state.perPoint[1].quarantined = true;
+    state.perPoint[1].quarantine.cls = FailureClass::kGate;
+    state.perPoint[1].quarantine.exitCode = kExitGateFailure;
+    // Point 2 stays missing (campaign drained before it finished).
+
+    const std::string json = renderReportJson(specs, state);
+    EXPECT_EQ(json, renderReportJson(specs, state));
+    EXPECT_NE(json.find("\"status\":\"completed\""), std::string::npos);
+    EXPECT_NE(json.find("\"status\":\"quarantined\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"status\":\"missing\""), std::string::npos);
+    EXPECT_NE(json.find("\"class\":\"gate\""), std::string::npos);
+    EXPECT_NE(json.find("\"delivered\":10"), std::string::npos)
+        << "worker result bytes must appear verbatim";
+
+    const std::string csv = renderReportCsv(specs, state);
+    EXPECT_EQ(csv, renderReportCsv(specs, state));
+    // Header plus one row per point.
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'),
+              static_cast<long>(specs.size()) + 1);
+
+    // Nondeterministic diagnostics live in provenance, not the report.
+    state.perPoint[1].quarantine.stderrTail = "varies per run";
+    state.perPoint[1].quarantine.ckptPath = "point-1.ckpt";
+    EXPECT_EQ(json, renderReportJson(specs, state));
+    EXPECT_EQ(csv, renderReportCsv(specs, state));
+    const std::string prov =
+        renderProvenanceJson(specs, state, "/tmp/out");
+    EXPECT_NE(prov.find("varies per run"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end fleets (these fork real workers).
+// ---------------------------------------------------------------------
+
+OrchestratorOptions
+e2eOptions(const std::string &outDir)
+{
+    OrchestratorOptions opts;
+    opts.outDir = outDir;
+    opts.workers = 2;
+    opts.maxFailures = 2;
+    opts.hangTimeoutSec = 30.0;
+    opts.pollIntervalSec = 0.01;
+    opts.worker.checkpointEvery = 100;
+    opts.backoff.initialSec = 0.05;
+    opts.backoff.maxSec = 0.2;
+    return opts;
+}
+
+GridSpec
+e2eGrid()
+{
+    GridSpec grid;
+    grid.designs = {PgDesign::kNord};
+    grid.rates = {0.05};
+    grid.seeds = {1, 2};
+    grid.measure = 300;
+    return grid;
+}
+
+TEST(CampaignEndToEnd, CompletesResumesAndSurvivesJournalTruncation)
+{
+    clearCampaignDrain();
+    const std::string dir = freshDir("campaign_e2e");
+    const std::vector<PointSpec> specs = expandGrid(e2eGrid());
+    const OrchestratorOptions opts = e2eOptions(dir);
+
+    CampaignOutcome out;
+    std::string err;
+    ASSERT_TRUE(runCampaign(specs, opts, &out, &err)) << err;
+    EXPECT_EQ(out.completed, specs.size());
+    EXPECT_EQ(out.quarantined, 0u);
+    EXPECT_FALSE(out.interrupted);
+    const std::string json1 = slurp(out.reportJson);
+    const std::string csv1 = slurp(out.reportCsv);
+    ASSERT_FALSE(json1.empty());
+    ASSERT_FALSE(csv1.empty());
+
+    // Resume with everything already terminal: no new launches, same
+    // bytes.
+    CampaignOutcome out2;
+    ASSERT_TRUE(runCampaign(specs, opts, &out2, &err)) << err;
+    EXPECT_EQ(out2.launches, 0u);
+    EXPECT_EQ(slurp(out2.reportJson), json1);
+    EXPECT_EQ(slurp(out2.reportCsv), csv1);
+
+    // Amputate the journal back to its first two lines (the shape an
+    // orchestrator SIGKILL leaves behind): the rerun must redo the lost
+    // work -- resuming workers from leftover checkpoints -- and land on
+    // the same report bytes.
+    const std::string jpath = dir + "/journal.jsonl";
+    const std::string full = slurp(jpath);
+    std::size_t cut = full.find('\n');
+    ASSERT_NE(cut, std::string::npos);
+    cut = full.find('\n', cut + 1);
+    ASSERT_NE(cut, std::string::npos);
+    spew(jpath, full.substr(0, cut + 1));
+    std::remove(out.reportJson.c_str());
+    std::remove(out.reportCsv.c_str());
+
+    CampaignOutcome out3;
+    ASSERT_TRUE(runCampaign(specs, opts, &out3, &err)) << err;
+    EXPECT_EQ(out3.completed, specs.size());
+    EXPECT_GT(out3.launches, 0u);
+    EXPECT_EQ(slurp(out3.reportJson), json1)
+        << "a resumed campaign's report must be byte-identical";
+    EXPECT_EQ(slurp(out3.reportCsv), csv1);
+}
+
+TEST(CampaignEndToEnd, PoisonPointQuarantinedWithDiagnostics)
+{
+    clearCampaignDrain();
+    const std::string dir = freshDir("campaign_poison");
+    std::vector<PointSpec> specs = expandGrid(e2eGrid());
+    ASSERT_GE(specs.size(), 2u);
+    specs[1].selfTest = SelfTest::kPoison;
+
+    CampaignOutcome out;
+    std::string err;
+    ASSERT_TRUE(runCampaign(specs, e2eOptions(dir), &out, &err)) << err;
+    EXPECT_EQ(out.completed, specs.size() - 1);
+    EXPECT_EQ(out.quarantined, 1u);
+
+    const std::string json = slurp(out.reportJson);
+    EXPECT_NE(json.find("\"status\":\"quarantined\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"class\":\"gate\""), std::string::npos)
+        << "a deterministic gate failure must quarantine on the first "
+           "attempt, not burn retries: " << json;
+    // The journal carries the quarantine diagnostics.
+    const std::string journal = slurp(dir + "/journal.jsonl");
+    EXPECT_NE(journal.find("\"event\":\"quarantine\""),
+              std::string::npos);
+}
+
+TEST(CampaignEndToEnd, HangPointKilledByHeartbeatAndQuarantined)
+{
+    clearCampaignDrain();
+    const std::string dir = freshDir("campaign_hang");
+    std::vector<PointSpec> specs = expandGrid(e2eGrid());
+    ASSERT_GE(specs.size(), 2u);
+    specs[0].selfTest = SelfTest::kHang;
+
+    OrchestratorOptions opts = e2eOptions(dir);
+    opts.hangTimeoutSec = 0.5;
+    opts.worker.checkpointEvery = 50;
+
+    CampaignOutcome out;
+    std::string err;
+    ASSERT_TRUE(runCampaign(specs, opts, &out, &err)) << err;
+    EXPECT_EQ(out.quarantined, 1u);
+    EXPECT_EQ(out.completed, specs.size() - 1);
+    const std::string json = slurp(out.reportJson);
+    EXPECT_NE(json.find("\"class\":\"hang\""), std::string::npos)
+        << json;
+}
+
+TEST(CampaignEndToEnd, ChaosKillsNeverChangeTheReport)
+{
+    clearCampaignDrain();
+    GridSpec grid = e2eGrid();
+    grid.measure = 20000;  // long enough for the schedule to land kills
+
+    // Undisturbed reference run.
+    const std::string cleanDir = freshDir("campaign_chaos_clean");
+    const std::vector<PointSpec> specs = expandGrid(grid);
+    CampaignOutcome clean;
+    std::string err;
+    ASSERT_TRUE(runCampaign(specs, e2eOptions(cleanDir), &clean, &err))
+        << err;
+    ASSERT_EQ(clean.completed, specs.size());
+
+    // Same grid under chaos: workers are SIGKILLed on a seeded schedule
+    // and resume from their checkpoints.
+    const std::string chaosDir = freshDir("campaign_chaos");
+    OrchestratorOptions opts = e2eOptions(chaosDir);
+    opts.chaos.enabled = true;
+    opts.chaos.seed = 7;
+    opts.chaos.meanIntervalSec = 0.05;
+    opts.chaos.maxKills = 3;
+    CampaignOutcome chaotic;
+    ASSERT_TRUE(runCampaign(specs, opts, &chaotic, &err)) << err;
+    EXPECT_EQ(chaotic.completed, specs.size());
+    EXPECT_GE(chaotic.chaosKills, 1u)
+        << "the schedule never fired; the test proved nothing";
+
+    EXPECT_EQ(slurp(chaotic.reportJson), slurp(clean.reportJson))
+        << "chaos kills are uncounted and workers resume bit-exactly, "
+           "so the report must not change";
+    EXPECT_EQ(slurp(chaotic.reportCsv), slurp(clean.reportCsv));
+}
+
+}  // namespace
+}  // namespace campaign
+}  // namespace nord

@@ -345,6 +345,195 @@ TEST(Checkpoint, AuditorRecoverStateSurvivesRestore)
     EXPECT_EQ(sys1.stateHash(), sys2.stateHash());
 }
 
+// ---------------------------------------------------------------------
+// Container fuzz: truncations and bit flips.
+//
+// The campaign orchestrator restarts workers from whatever checkpoint a
+// SIGKILL left behind, so the loader must survive arbitrary damage: every
+// truncation and every single-bit flip must fail with a diagnostic --
+// never crash, never allocate absurdly (the header digest guards paySize
+// before it is trusted), and never leave the system partially loaded
+// (loadCheckpoint is transactional: on failure the pre-call state is
+// rolled back).
+// ---------------------------------------------------------------------
+
+std::vector<unsigned char>
+slurpBytes(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::vector<unsigned char> bytes;
+    unsigned char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        bytes.insert(bytes.end(), buf, buf + n);
+    std::fclose(f);
+    return bytes;
+}
+
+void
+spewBytes(const std::string &path, const std::vector<unsigned char> &b)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    if (!b.empty()) {
+        ASSERT_EQ(std::fwrite(b.data(), 1, b.size(), f), b.size());
+    }
+    ASSERT_EQ(std::fclose(f), 0);
+}
+
+/**
+ * Fixed header size: magic u32, version u32, then fingerprint, cycle,
+ * user[4], paySize, payHash, metaHash as u64 (see checkpoint.cc).
+ */
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8 * 9;
+
+/**
+ * Assert that loading @p path into a warmed system fails with a
+ * diagnostic and rolls the system back to its pre-call state exactly.
+ */
+void
+expectRejectedWithRollback(NocSystem &victim, const std::string &path,
+                           const std::string &what)
+{
+    const std::uint64_t before = victim.stateHash();
+    const Cycle now = victim.now();
+    std::string err;
+    EXPECT_FALSE(victim.loadCheckpoint(path, nullptr, &err)) << what;
+    EXPECT_FALSE(err.empty()) << what << ": failure must carry a "
+                                         "diagnostic";
+    EXPECT_EQ(victim.now(), now) << what;
+    EXPECT_EQ(victim.stateHash(), before)
+        << what << ": failed load must roll back, not leave a "
+                   "half-deserialized system";
+}
+
+TEST(CheckpointFuzz, EveryTruncationRejectedWithRollback)
+{
+    const NocConfig cfg = ckptConfig(PgDesign::kNord);
+    NocSystem sys(cfg);
+    SyntheticTraffic t(TrafficPattern::kUniformRandom, 0.08, 7);
+    sys.setWorkload(&t);
+    sys.run(300);
+    const std::string golden = tmpPath("fuzz_trunc_golden.ckpt");
+    std::string err;
+    ASSERT_TRUE(sys.saveCheckpoint(golden, {}, &err)) << err;
+    const std::vector<unsigned char> intact = slurpBytes(golden);
+    ASSERT_GT(intact.size(), kHeaderBytes);
+
+    NocSystem victim(cfg);
+    SyntheticTraffic tv(TrafficPattern::kUniformRandom, 0.08, 7);
+    victim.setWorkload(&tv);
+    victim.run(150);
+
+    const std::string path = tmpPath("fuzz_trunc.ckpt");
+    std::vector<std::size_t> cuts;
+    // Every boundary inside the header, including the exact section
+    // boundaries (magic|version|fingerprint|cycle|user|size|hash|digest).
+    for (std::size_t n = 0; n <= kHeaderBytes; ++n)
+        cuts.push_back(n);
+    // A spread of payload truncations up to one-byte-short.
+    const std::size_t pay = intact.size() - kHeaderBytes;
+    for (int i = 1; i <= 16; ++i)
+        cuts.push_back(kHeaderBytes + (pay * i) / 17);
+    cuts.push_back(intact.size() - 1);
+    for (std::size_t cut : cuts) {
+        ASSERT_LT(cut, intact.size());
+        spewBytes(path, {intact.begin(),
+                         intact.begin() + static_cast<long>(cut)});
+        expectRejectedWithRollback(
+            victim, path,
+            "truncated to " + std::to_string(cut) + " bytes");
+    }
+
+    // Control: the intact file still loads, so the harness is not
+    // vacuously passing.
+    std::string ok;
+    EXPECT_TRUE(victim.loadCheckpoint(golden, nullptr, &ok)) << ok;
+    EXPECT_EQ(victim.stateHash(), sys.stateHash());
+    std::remove(golden.c_str());
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointFuzz, EveryHeaderBitFlipRejectedWithRollback)
+{
+    const NocConfig cfg = ckptConfig(PgDesign::kNord);
+    NocSystem sys(cfg);
+    SyntheticTraffic t(TrafficPattern::kUniformRandom, 0.08, 7);
+    sys.setWorkload(&t);
+    sys.run(300);
+    const std::string golden = tmpPath("fuzz_flip_golden.ckpt");
+    std::string err;
+    ASSERT_TRUE(sys.saveCheckpoint(golden, {1, 2, 3, 4}, &err)) << err;
+    const std::vector<unsigned char> intact = slurpBytes(golden);
+
+    NocSystem victim(cfg);
+    SyntheticTraffic tv(TrafficPattern::kUniformRandom, 0.08, 7);
+    victim.setWorkload(&tv);
+    victim.run(150);
+
+    const std::string path = tmpPath("fuzz_flip.ckpt");
+    std::vector<unsigned char> bytes = intact;
+    for (std::size_t byte = 0; byte < kHeaderBytes; ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+            bytes[byte] =
+                static_cast<unsigned char>(intact[byte] ^ (1u << bit));
+            spewBytes(path, bytes);
+            expectRejectedWithRollback(
+                victim, path,
+                "bit " + std::to_string(bit) + " of header byte " +
+                    std::to_string(byte));
+            bytes[byte] = intact[byte];
+        }
+    }
+
+    // The paySize field specifically: a flipped high bit must be caught
+    // by the header digest, not by an attempted multi-exabyte vector.
+    const std::size_t paySizeOff = 4 + 4 + 8 + 8 + 32;
+    bytes[paySizeOff + 7] ^= 0x80;  // top bit of the little-endian u64
+    spewBytes(path, bytes);
+    std::string diag;
+    EXPECT_FALSE(victim.loadCheckpoint(path, nullptr, &diag));
+    EXPECT_NE(diag.find("digest"), std::string::npos) << diag;
+    std::remove(golden.c_str());
+    std::remove(path.c_str());
+}
+
+TEST(CheckpointFuzz, SampledPayloadBitFlipsRejectedWithRollback)
+{
+    const NocConfig cfg = ckptConfig(PgDesign::kNord);
+    NocSystem sys(cfg);
+    SyntheticTraffic t(TrafficPattern::kUniformRandom, 0.08, 7);
+    sys.setWorkload(&t);
+    sys.run(300);
+    const std::string golden = tmpPath("fuzz_pay_golden.ckpt");
+    std::string err;
+    ASSERT_TRUE(sys.saveCheckpoint(golden, {}, &err)) << err;
+    const std::vector<unsigned char> intact = slurpBytes(golden);
+    const std::size_t pay = intact.size() - kHeaderBytes;
+    ASSERT_GT(pay, 64u);
+
+    NocSystem victim(cfg);
+    SyntheticTraffic tv(TrafficPattern::kUniformRandom, 0.08, 7);
+    victim.setWorkload(&tv);
+    victim.run(150);
+
+    const std::string path = tmpPath("fuzz_pay.ckpt");
+    std::vector<unsigned char> bytes = intact;
+    for (int i = 0; i < 64; ++i) {
+        // Deterministic spread over the payload, cycling the flipped bit.
+        const std::size_t off = kHeaderBytes + (pay * i) / 64;
+        bytes[off] = static_cast<unsigned char>(intact[off] ^
+                                                (1u << (i % 8)));
+        spewBytes(path, bytes);
+        expectRejectedWithRollback(victim, path,
+                                   "payload byte " + std::to_string(off));
+        bytes[off] = intact[off];
+    }
+    std::remove(golden.c_str());
+    std::remove(path.c_str());
+}
+
 TEST(Checkpoint, HashModeMatchesSaveBufferDigest)
 {
     // stateHash() (kHash walk) must equal the FNV digest of the kSave

@@ -321,6 +321,83 @@ class StatelessProbe : public Clocked
     EXPECT_TRUE(lint("src/verify/probe.hh", annotated).empty());
 }
 
+TEST(NordLint, UncheckedIoFlaggedInDurabilityCode)
+{
+    const char *bare = R"cc(
+void
+flushJournal(std::FILE *f, int fd)
+{
+    std::fwrite(buf, 1, n, f);
+    fflush(f);
+    fsync(fd);
+    std::rename(tmp, path);
+}
+)cc";
+    const std::vector<LintFinding> fs =
+        lint("src/campaign/journal.cc", bare);
+    EXPECT_EQ(countCheck(fs, "unchecked-io"), 4);
+    EXPECT_EQ(countCheck(lint("src/ckpt/checkpoint.cc", bare),
+                         "unchecked-io"), 4);
+    // Only the durability layers are in scope: elsewhere an ignored
+    // fflush is merely sloppy, not a resumability bug.
+    EXPECT_TRUE(lint("src/router/router.cc", bare).empty());
+    EXPECT_TRUE(lint("bench/bench_foo.cc", bare).empty());
+}
+
+TEST(NordLint, UncheckedIoCleanWhenResultConsumed)
+{
+    const char *checked = R"cc(
+bool
+flushJournal(std::FILE *f, int fd)
+{
+    if (std::fwrite(buf, 1, n, f) != n)
+        return false;
+    bool ok = (std::fflush(f) == 0);
+    ok = (fsync(fd) == 0) && ok;
+    return ok && std::rename(tmp, path) == 0;
+}
+)cc";
+    EXPECT_TRUE(lint("src/ckpt/checkpoint.cc", checked).empty());
+
+    // An explicit (void) cast at least states intent; it passes.
+    const char *discarded =
+        "void cleanup(int fd) { (void)fsync(fd); }\n";
+    EXPECT_TRUE(lint("src/campaign/journal.cc", discarded).empty());
+
+    // Declarations and non-call uses of the names are not findings.
+    const char *lookalikes = R"cc(
+int rename(const char *oldp, const char *newp);
+void logRename(const std::string &rename_target);
+int fsyncBudget = 3;
+)cc";
+    EXPECT_TRUE(lint("src/campaign/journal.cc", lookalikes).empty());
+}
+
+TEST(NordLint, UncheckedIoAnnotationSuppresses)
+{
+    const char *annotated = R"cc(
+void
+bestEffortCleanup(const char *a, const char *b)
+{
+    // nord-lint-allow(unchecked-io): cleanup path, failure is benign
+    rename(a, b);
+}
+)cc";
+    EXPECT_TRUE(lint("src/campaign/journal.cc", annotated).empty());
+
+    const char *unannotated = R"cc(
+void
+bestEffortCleanup(const char *a, const char *b)
+{
+    rename(a, b);
+}
+)cc";
+    const std::vector<LintFinding> fs =
+        lint("src/campaign/journal.cc", unannotated);
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].check, "unchecked-io");
+}
+
 TEST(NordLint, StripCodeIgnoresCommentsAndStrings)
 {
     const char *code = R"cc(
