@@ -19,11 +19,37 @@
 #   4. The journal must show both quarantine classes (gate, hang) with
 #      diagnostics.
 #
+# Phase C -- multi-executor fleet under partition chaos (--executors 2):
+#   1. Clean reference campaign (classic single orchestrator).
+#   2. Two executors --join the same campaign directory. One SIGSTOPs
+#      itself for longer than the lease grace (partition chaos), loses
+#      its shard leases, and must self-fence: exit 14 (lease-lost), no
+#      post-fence writes. The survivor steals the shards and drains the
+#      grid.
+#   3. The fleet's report must be byte-identical to the classic run's.
+#
 # Usage: scripts/chaos_smoke.sh [resilience_sweep] [nord-campaign]
+#                               [--executors N]
 set -u
 
-SWEEP="${1:-build/bench/resilience_sweep}"
-CAMPAIGN="${2:-build/tools/nord-campaign}"
+SWEEP="build/bench/resilience_sweep"
+CAMPAIGN="build/tools/nord-campaign"
+EXECUTORS=1
+POS=0
+while [ $# -gt 0 ]; do
+    case "$1" in
+      --executors)
+        [ $# -ge 2 ] || { echo "missing value for --executors" >&2; exit 2; }
+        EXECUTORS="$2"
+        shift 2
+        ;;
+      *)
+        POS=$((POS + 1))
+        if [ "$POS" -eq 1 ]; then SWEEP="$1"; else CAMPAIGN="$1"; fi
+        shift
+        ;;
+    esac
+done
 WORK="$(mktemp -d)"
 
 cleanup() {
@@ -159,5 +185,72 @@ grep -q '"event":"quarantine".*"class":"hang"' "$WORK/clean/journal.jsonl" \
     || fail "no hang quarantine in the journal"
 grep -q '"status":"quarantined"' "$WORK/clean/report.json" \
     || fail "report carries no quarantined points"
+
+# ----------------------------------------------------------------------
+# Phase C: multi-executor fleet with partition chaos.
+# ----------------------------------------------------------------------
+
+if [ "$EXECUTORS" -ge 2 ]; then
+    # A clean grid (no poison/hang): completion-only, so the classic
+    # golden and the surviving executor both exit 0 and every byte of
+    # report divergence is a fleet bug, not taxonomy noise.
+    CGRID="--designs nord --rates 0.05 --seeds 1,2,3,4,5,6
+           --cycles 150000 --rows 4 --cols 4"
+    CSUP="--workers 2 --checkpoint-every 2000 --max-failures 2
+          --backoff-initial 0.05 --backoff-max 0.2"
+
+    echo "[smoke C] classic golden run..."
+    # shellcheck disable=SC2086
+    "$CAMPAIGN" $CGRID $CSUP --out "$WORK/fleet-gold" \
+        || fail "golden classic campaign failed"
+
+    echo "[smoke C] two executors join; one self-partitions past the" \
+         "lease grace..."
+    FLEET="$WORK/fleet"
+    # Executor 1: partition chaos only (the huge --chaos-interval keeps
+    # worker kills out of the picture). It SIGSTOPs itself for 4s with a
+    # 1s lease grace, so on resume it MUST self-fence and exit 14.
+    # shellcheck disable=SC2086
+    "$CAMPAIGN" $CGRID $CSUP --join "$FLEET" --executor-id exec-1 \
+        --lease-grace 1 \
+        --chaos --chaos-seed 5 --chaos-interval 10000 \
+        --chaos-partition-mean 0.6 --chaos-partition-duration 4 \
+        --chaos-max-partitions 1 \
+        > "$WORK/exec1.log" 2>&1 &
+    PID1=$!
+    # Executor 2: an honest survivor. It steals the partitioned
+    # executor's shards after the grace and drains the grid.
+    # shellcheck disable=SC2086
+    "$CAMPAIGN" $CGRID $CSUP --join "$FLEET" --executor-id exec-2 \
+        --lease-grace 1 \
+        > "$WORK/exec2.log" 2>&1
+    RC2=$?
+    wait "$PID1"
+    RC1=$?
+    [ "$RC2" -eq 0 ] || {
+        cat "$WORK/exec2.log" >&2
+        fail "surviving executor: expected exit 0, got $RC2"
+    }
+    [ "$RC1" -eq 14 ] || {
+        cat "$WORK/exec1.log" >&2
+        fail "partitioned executor: expected exit 14 (lease-lost), got $RC1"
+    }
+    grep -q "self-fenced" "$WORK/exec1.log" \
+        || fail "partitioned executor never reported a self-fence"
+    grep -q "lease lost" "$WORK/exec1.log" \
+        || fail "partitioned executor never reported the lost lease"
+
+    diff -u "$WORK/fleet-gold/report.json" "$FLEET/report.json" \
+        || fail "fleet report.json differs from the classic golden run"
+    diff -u "$WORK/fleet-gold/report.csv" "$FLEET/report.csv" \
+        || fail "fleet report.csv differs from the classic golden run"
+    # The canonical journal must carry no trace of the fenced executor's
+    # abandoned work: replay it as a classic journal and count points.
+    DONE_COUNT=$(grep -c '"event":"done"' "$FLEET/journal.jsonl")
+    [ "$DONE_COUNT" -eq 6 ] \
+        || fail "canonical journal has $DONE_COUNT done events, want 6"
+    echo "[smoke C] PASS: self-fence at exit 14, fleet report" \
+         "byte-identical to the classic golden"
+fi
 
 echo "[smoke] PASS: all phases"

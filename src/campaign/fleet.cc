@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Worker-fleet primitives (see fleet.hh for the orphan-safety protocol).
+ */
+
+#include "campaign/fleet.hh"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "campaign/exit_codes.hh"
+#include "common/log.hh"
+
+#ifdef NORD_CAMPAIGN_POSIX
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+#endif
+
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+namespace nord {
+namespace campaign {
+
+double
+monotonicSec()
+{
+#ifdef NORD_CAMPAIGN_POSIX
+    struct timespec ts = {0, 0};
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+#else
+    return 0.0;
+#endif
+}
+
+void
+sleepSec(double sec)
+{
+#ifdef NORD_CAMPAIGN_POSIX
+    if (sec <= 0.0)
+        return;
+    struct timespec ts;
+    ts.tv_sec = static_cast<time_t>(sec);
+    ts.tv_nsec = static_cast<long>((sec - static_cast<double>(ts.tv_sec)) *
+                                   1e9);
+    nanosleep(&ts, nullptr);
+#else
+    (void)sec;
+#endif
+}
+
+bool
+fileMtimeNs(const std::string &path, std::uint64_t *out)
+{
+#ifdef NORD_CAMPAIGN_POSIX
+    struct stat st;
+    if (stat(path.c_str(), &st) != 0)
+        return false;
+#if defined(__APPLE__)
+    *out = static_cast<std::uint64_t>(st.st_mtimespec.tv_sec) *
+               1000000000ull +
+           static_cast<std::uint64_t>(st.st_mtimespec.tv_nsec);
+#else
+    *out = static_cast<std::uint64_t>(st.st_mtim.tv_sec) * 1000000000ull +
+           static_cast<std::uint64_t>(st.st_mtim.tv_nsec);
+#endif
+    return true;
+#else
+    (void)path;
+    (void)out;
+    return false;
+#endif
+}
+
+bool
+fileExists(const std::string &path)
+{
+#ifdef NORD_CAMPAIGN_POSIX
+    struct stat st;
+    return stat(path.c_str(), &st) == 0;
+#else
+    std::ifstream in(path);
+    return static_cast<bool>(in);
+#endif
+}
+
+std::string
+readWholeFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::in | std::ios::binary);
+    if (!in)
+        return "";
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+std::string
+stderrTail(const std::string &path, std::size_t maxBytes)
+{
+    std::string all = readWholeFile(path);
+    while (!all.empty() && all.back() == '\n')
+        all.pop_back();
+    if (all.size() <= maxBytes)
+        return all;
+    std::string tail = all.substr(all.size() - maxBytes);
+    const std::size_t nl = tail.find('\n');
+    if (nl != std::string::npos && nl + 1 < tail.size())
+        tail = tail.substr(nl + 1);
+    return tail;
+}
+
+bool
+readResultLine(const std::string &path, std::string *out)
+{
+    std::string content = readWholeFile(path);
+    if (content.empty() || content.back() != '\n')
+        return false;
+    content.pop_back();
+    if (content.empty() || content.find('\n') != std::string::npos)
+        return false;
+    *out = std::move(content);
+    return true;
+}
+
+long
+spawnPointWorker(const PointSpec &spec, const PointPaths &paths,
+                 const WorkerOptions &opts)
+{
+#ifdef NORD_CAMPAIGN_POSIX
+    const pid_t supervisor = getpid();
+    const pid_t pid = fork();
+    if (pid < 0) {
+        std::fprintf(diagStream(), "[campaign] fork failed: %s\n",
+                     std::strerror(errno));
+        return -1;
+    }
+    if (pid == 0) {
+        // Own process group so the supervisor can kill(-pid) this worker
+        // together with anything it forks.
+        if (setpgid(0, 0) != 0) {
+            // Already a group leader or raced with the parent: harmless.
+        }
+#ifdef __linux__
+        // Die with the supervisor: a SIGKILL'd supervisor runs no exit
+        // path, so orphan reaping must be the kernel's job. The getppid
+        // re-check closes the race where the supervisor died between
+        // fork and prctl -- the death signal would never fire.
+        if (prctl(PR_SET_PDEATHSIG, SIGKILL) != 0) {
+            // Supervision still works; only SIGKILL-orphan coverage is
+            // reduced.
+        }
+        if (getppid() != supervisor)
+            _exit(kExitInfraFailure);
+#else
+        (void)supervisor;
+#endif
+        std::signal(SIGINT, SIG_DFL);
+        std::signal(SIGTERM, SIG_DFL);
+        // Truncate, don't append: the quarantine stderr tail must
+        // describe THIS attempt, not an accumulation of every prior
+        // kill (which would vary with chaos timing).
+        const int fd = ::open(paths.stderrLog.c_str(),
+                              O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        if (fd >= 0) {
+            if (dup2(fd, 2) < 0) {
+                // Diagnostics stay on the inherited fd 2; harmless.
+            }
+            ::close(fd);
+        }
+        _exit(runPointWorker(spec, paths, opts));
+    }
+    // The parent ALSO sets the group: whichever side runs first wins and
+    // the group exists before any kill can target it. EACCES/ESRCH mean
+    // the child already did it or already exited -- both fine.
+    if (setpgid(pid, pid) != 0) {
+        // See above.
+    }
+    return static_cast<long>(pid);
+#else
+    (void)spec;
+    (void)paths;
+    (void)opts;
+    return -1;
+#endif
+}
+
+void
+killWorkerGroup(long pid)
+{
+#ifdef NORD_CAMPAIGN_POSIX
+    if (pid <= 0)
+        return;
+    if (kill(static_cast<pid_t>(-pid), SIGKILL) != 0) {
+        // The group may be gone while the leader is still a zombie (or
+        // never existed on a setpgid race): fall back to the pid alone.
+        if (kill(static_cast<pid_t>(pid), SIGKILL) != 0) {
+            // Already fully reaped.
+        }
+    }
+#else
+    (void)pid;
+#endif
+}
+
+void
+killFleet(std::vector<WorkerSlot> *fleetSlots)
+{
+#ifdef NORD_CAMPAIGN_POSIX
+    for (WorkerSlot &slot : *fleetSlots) {
+        if (slot.pid > 0) {
+            killWorkerGroup(slot.pid);
+            int st = 0;
+            waitpid(static_cast<pid_t>(slot.pid), &st, 0);
+        }
+    }
+#endif
+    fleetSlots->clear();
+}
+
+}  // namespace campaign
+}  // namespace nord

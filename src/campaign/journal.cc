@@ -11,6 +11,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "ckpt/checkpoint.hh"
 #include "common/log.hh"
 
 #ifndef _WIN32
@@ -239,9 +240,9 @@ jsonFieldBool(const std::string &line, const std::string &key,
 
 bool
 atomicWriteFile(const std::string &path, const std::string &bytes,
-                std::string *err)
+                std::string *err, const std::string &tmpSuffix)
 {
-    const std::string tmp = path + ".tmp";
+    const std::string tmp = path + tmpSuffix;
     std::FILE *f = std::fopen(tmp.c_str(), "wb");
     if (!f) {
         setErr(err, detail::formatString("cannot open %s: %s", tmp.c_str(),
@@ -274,7 +275,9 @@ atomicWriteFile(const std::string &path, const std::string &bytes,
         }
         return false;
     }
-    return true;
+    // The rename lives in the parent directory's data: without this a
+    // power loss can resurface the pre-rotation file on the next mount.
+    return fsyncParentDir(path, err);
 }
 
 // --- Journal ------------------------------------------------------------
@@ -300,6 +303,7 @@ CampaignJournal::replayContent(const std::string &content,
                                ReplayState *replay, std::string *err)
 {
     replay->perPoint.clear();
+    replay->shardTokens.clear();
     replay->opened = false;
     replay->events = 0;
     replay->tornTail = false;
@@ -384,6 +388,9 @@ CampaignJournal::replayContent(const std::string &content,
             }
             p.done = true;
             p.resultLine = std::move(result);
+            std::uint64_t tok = 0;
+            if (jsonFieldU64(line, "token", &tok))
+                p.token = std::max(p.token, tok);
         } else if (event == "fail" && hasPoint) {
             ReplayPoint &p = replay->perPoint[point];
             bool counted = true;
@@ -414,6 +421,16 @@ CampaignJournal::replayContent(const std::string &content,
                 q.stderrTail = std::move(s);
             if (jsonFieldString(line, "ckpt", &s))
                 q.ckptPath = std::move(s);
+            if (jsonFieldU64(line, "token", &v))
+                p.token = std::max(p.token, v);
+        } else if (event == "claim") {
+            std::uint64_t shard = 0;
+            std::uint64_t tok = 0;
+            if (jsonFieldU64(line, "shard", &shard) &&
+                jsonFieldU64(line, "token", &tok)) {
+                std::uint64_t &best = replay->shardTokens[shard];
+                best = std::max(best, tok);
+            }
         }
         // Unknown events are skipped: newer writers stay replayable.
         replay->events += 1;
@@ -548,35 +565,59 @@ CampaignJournal::open(const std::string &path, std::uint64_t points,
     return true;
 }
 
+namespace {
+
+/** Render the ",\"shard\":K,\"token\":T" stamp ("" when unstamped). */
+std::string
+stampFields(const ShardStamp &stamp)
+{
+    if (!stamp.stamped())
+        return std::string();
+    return detail::formatString(
+        ",\"shard\":%llu,\"token\":%llu",
+        static_cast<unsigned long long>(stamp.shard),
+        static_cast<unsigned long long>(stamp.token));
+}
+
+}  // namespace
+
 bool
-CampaignJournal::appendAttempt(std::uint64_t point, int launch)
+CampaignJournal::appendAttempt(std::uint64_t point, int launch,
+                               const ShardStamp &stamp)
 {
     return appendLine(detail::formatString(
-        "{\"event\":\"attempt\",\"point\":%llu,\"launch\":%d}",
-        static_cast<unsigned long long>(point), launch));
+                          "{\"event\":\"attempt\",\"point\":%llu",
+                          static_cast<unsigned long long>(point)) +
+                      stampFields(stamp) +
+                      detail::formatString(",\"launch\":%d}", launch));
 }
 
 bool
 CampaignJournal::appendDone(std::uint64_t point,
-                            const std::string &resultLine)
+                            const std::string &resultLine,
+                            const ShardStamp &stamp)
 {
     return appendLine(detail::formatString(
-                          "{\"event\":\"done\",\"point\":%llu,\"result\":",
+                          "{\"event\":\"done\",\"point\":%llu",
                           static_cast<unsigned long long>(point)) +
-                      resultLine + "}");
+                      stampFields(stamp) + ",\"result\":" + resultLine +
+                      "}");
 }
 
 bool
 CampaignJournal::appendFail(std::uint64_t point, FailureClass cls,
                             int exitCode, int signal, bool counted,
                             const std::string &stderrTail,
-                            const std::string &ckptPath)
+                            const std::string &ckptPath,
+                            const ShardStamp &stamp)
 {
     return appendLine(detail::formatString(
-                          "{\"event\":\"fail\",\"point\":%llu,"
-                          "\"class\":\"%s\",\"exit\":%d,\"signal\":%d,"
+                          "{\"event\":\"fail\",\"point\":%llu",
+                          static_cast<unsigned long long>(point)) +
+                      stampFields(stamp) +
+                      detail::formatString(
+                          ",\"class\":\"%s\",\"exit\":%d,\"signal\":%d,"
                           "\"counted\":%s,\"ckpt\":\"",
-                          static_cast<unsigned long long>(point),
                           failureClassName(cls), exitCode, signal,
                           counted ? "true" : "false") +
                       jsonEscape(ckptPath) + "\",\"stderrTail\":\"" +
@@ -585,17 +626,29 @@ CampaignJournal::appendFail(std::uint64_t point, FailureClass cls,
 
 bool
 CampaignJournal::appendQuarantine(std::uint64_t point,
-                                  const QuarantineRecord &rec)
+                                  const QuarantineRecord &rec,
+                                  const ShardStamp &stamp)
 {
     return appendLine(detail::formatString(
-                          "{\"event\":\"quarantine\",\"point\":%llu,"
-                          "\"class\":\"%s\",\"exit\":%d,\"signal\":%d,"
+                          "{\"event\":\"quarantine\",\"point\":%llu",
+                          static_cast<unsigned long long>(point)) +
+                      stampFields(stamp) +
+                      detail::formatString(
+                          ",\"class\":\"%s\",\"exit\":%d,\"signal\":%d,"
                           "\"ckpt\":\"",
-                          static_cast<unsigned long long>(point),
                           failureClassName(rec.cls), rec.exitCode,
                           rec.signal) +
                       jsonEscape(rec.ckptPath) + "\",\"stderrTail\":\"" +
                       jsonEscape(rec.stderrTail) + "\"}");
+}
+
+bool
+CampaignJournal::appendClaim(std::uint64_t shard, std::uint64_t token)
+{
+    return appendLine(detail::formatString(
+        "{\"event\":\"claim\",\"shard\":%llu,\"token\":%llu}",
+        static_cast<unsigned long long>(shard),
+        static_cast<unsigned long long>(token)));
 }
 
 bool

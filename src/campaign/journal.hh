@@ -16,6 +16,17 @@
  *   quarantine {"event":"quarantine","point":i,"class":"gate",...}
  *   fails      {"event":"fails","point":i,"counted":n}   (rotation
  *              summary of prior counted failures)
+ *   claim      {"event":"claim","shard":k,"token":T}     (multi-executor
+ *              mode: this journal's executor acquired shard k's lease
+ *              with fencing token T)
+ *
+ * In multi-executor mode (lease.hh, executor.hh) each executor appends
+ * to its OWN journal and stamps point events with the shard and fencing
+ * token they were committed under ("shard":k,"token":T after the point
+ * field). Single-executor journals omit the stamp (token 0); replayers
+ * ignore unknown fields, so the two dialects interread freely. The
+ * deterministic fold of N per-executor journals into one canonical
+ * journal lives in merge.hh.
  *
  * Crash-safety rules:
  *  - appends go to the end of the file; a torn final line (crash or
@@ -86,14 +97,34 @@ bool jsonFieldRaw(const std::string &line, const std::string &key,
                   std::string *out);
 
 /**
- * Atomically replace @p path with @p bytes: write "<path>.tmp", fsync,
- * rename. Returns false and sets @p err on any I/O failure; the previous
- * file, if any, is untouched in that case.
+ * Atomically replace @p path with @p bytes: write "<path><tmpSuffix>",
+ * fsync, rename, then fsync the parent directory so the rename itself is
+ * durable. Returns false and sets @p err on any I/O failure; the previous
+ * file, if any, is untouched in that case. Concurrent writers of the SAME
+ * target (e.g. two executors both rendering the merged report) must pass
+ * distinct @p tmpSuffix values so their temp files cannot collide.
  */
 bool atomicWriteFile(const std::string &path, const std::string &bytes,
-                     std::string *err);
+                     std::string *err,
+                     const std::string &tmpSuffix = ".tmp");
 
 // --- Replayed state -----------------------------------------------------
+
+/**
+ * Fencing stamp carried by point events in multi-executor journals: the
+ * shard the point belongs to and the fencing token the writing executor
+ * held when it committed the event. token 0 means "unstamped" -- the
+ * single-executor dialect -- and is what the default-constructed stamp
+ * encodes; stamped events always carry token >= 1 (the lease layer hands
+ * out tokens starting at 1).
+ */
+struct ShardStamp
+{
+    std::uint64_t shard = 0;
+    std::uint64_t token = 0;  ///< 0 = unstamped (classic single-executor)
+
+    bool stamped() const { return token != 0; }
+};
 
 /** One quarantine record (diagnostics attached to a poison point). */
 struct QuarantineRecord
@@ -114,6 +145,8 @@ struct ReplayPoint
     bool quarantined = false;
     std::string resultLine;   ///< verbatim worker result object when done
     QuarantineRecord quarantine;
+    std::uint64_t token = 0;  ///< fencing token of the terminal event
+                              ///< (0 = unstamped single-executor dialect)
 };
 
 /** Journal replay result. */
@@ -126,6 +159,8 @@ struct ReplayState
     bool tornTail = false;        ///< file ended mid-line (crash artifact)
     std::size_t completeBytes = 0;///< prefix covered by complete lines
     std::map<std::uint64_t, ReplayPoint> perPoint;
+    /** Highest fencing token this journal claimed per shard. */
+    std::map<std::uint64_t, std::uint64_t> shardTokens;
 };
 
 // --- The journal --------------------------------------------------------
@@ -165,14 +200,24 @@ class CampaignJournal
     /** Complete events appended or replayed since open(). */
     std::uint64_t events() const { return events_; }
 
-    bool appendAttempt(std::uint64_t point, int launch);
-    bool appendDone(std::uint64_t point, const std::string &resultLine);
+    // Point events. @p stamp carries the (shard, fencing-token) pair in
+    // multi-executor mode; the default (token 0) emits the classic
+    // unstamped single-executor dialect.
+    bool appendAttempt(std::uint64_t point, int launch,
+                       const ShardStamp &stamp = ShardStamp());
+    bool appendDone(std::uint64_t point, const std::string &resultLine,
+                    const ShardStamp &stamp = ShardStamp());
     bool appendFail(std::uint64_t point, FailureClass cls, int exitCode,
                     int signal, bool counted,
                     const std::string &stderrTail,
-                    const std::string &ckptPath);
+                    const std::string &ckptPath,
+                    const ShardStamp &stamp = ShardStamp());
     bool appendQuarantine(std::uint64_t point,
-                          const QuarantineRecord &rec);
+                          const QuarantineRecord &rec,
+                          const ShardStamp &stamp = ShardStamp());
+
+    /** Record a shard-lease acquisition (multi-executor mode). */
+    bool appendClaim(std::uint64_t shard, std::uint64_t token);
 
     /**
      * Compact the journal: atomically replace it with a snapshot headed

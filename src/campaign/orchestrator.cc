@@ -10,20 +10,16 @@
 #include <cerrno>
 #include <csignal>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 
+#include "campaign/fleet.hh"
 #include "common/log.hh"
 #include "common/rng.hh"
 
-#if defined(__unix__) || defined(__APPLE__)
-#include <fcntl.h>
+#ifdef NORD_CAMPAIGN_POSIX
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <sys/wait.h>
-#include <time.h>
 #include <unistd.h>
-#define NORD_CAMPAIGN_POSIX 1
 #endif
 
 namespace nord {
@@ -35,136 +31,6 @@ namespace {
 // sig_atomic_t is the only type that is safe to touch there.
 // nord-lint-allow(mutable-static)
 volatile std::sig_atomic_t g_drainRequested = 0;
-
-/** Monotonic seconds: scheduling only, never simulation state. */
-double
-monotonicSec()
-{
-#ifdef NORD_CAMPAIGN_POSIX
-    struct timespec ts = {0, 0};
-    clock_gettime(CLOCK_MONOTONIC, &ts);
-    return static_cast<double>(ts.tv_sec) +
-           static_cast<double>(ts.tv_nsec) * 1e-9;
-#else
-    return 0.0;
-#endif
-}
-
-#ifdef NORD_CAMPAIGN_POSIX
-
-void
-sleepSec(double sec)
-{
-    if (sec <= 0.0)
-        return;
-    struct timespec ts;
-    ts.tv_sec = static_cast<time_t>(sec);
-    ts.tv_nsec = static_cast<long>((sec - static_cast<double>(ts.tv_sec)) *
-                                   1e9);
-    nanosleep(&ts, nullptr);
-}
-
-/** Nanosecond mtime of @p path (false when it does not exist). */
-bool
-fileMtimeNs(const std::string &path, std::uint64_t *out)
-{
-    struct stat st;
-    if (stat(path.c_str(), &st) != 0)
-        return false;
-#if defined(__APPLE__)
-    *out = static_cast<std::uint64_t>(st.st_mtimespec.tv_sec) *
-               1000000000ull +
-           static_cast<std::uint64_t>(st.st_mtimespec.tv_nsec);
-#else
-    *out = static_cast<std::uint64_t>(st.st_mtim.tv_sec) * 1000000000ull +
-           static_cast<std::uint64_t>(st.st_mtim.tv_nsec);
-#endif
-    return true;
-}
-
-bool
-fileExists(const std::string &path)
-{
-    struct stat st;
-    return stat(path.c_str(), &st) == 0;
-}
-
-std::string
-readWholeFile(const std::string &path)
-{
-    std::ifstream in(path, std::ios::in | std::ios::binary);
-    if (!in)
-        return "";
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    return buf.str();
-}
-
-/**
- * Last lines of @p path, capped at @p maxBytes and trimmed to a line
- * boundary: the quarantine diagnostic a human reads first.
- */
-std::string
-stderrTail(const std::string &path, std::size_t maxBytes = 2000)
-{
-    std::string all = readWholeFile(path);
-    while (!all.empty() && all.back() == '\n')
-        all.pop_back();
-    if (all.size() <= maxBytes)
-        return all;
-    std::string tail = all.substr(all.size() - maxBytes);
-    const std::size_t nl = tail.find('\n');
-    if (nl != std::string::npos && nl + 1 < tail.size())
-        tail = tail.substr(nl + 1);
-    return tail;
-}
-
-/**
- * The worker result file is written atomically, so it either holds one
- * complete JSON line or does not exist. Returns false on anything else.
- */
-bool
-readResultLine(const std::string &path, std::string *out)
-{
-    std::string content = readWholeFile(path);
-    if (content.empty() || content.back() != '\n')
-        return false;
-    content.pop_back();
-    if (content.empty() || content.find('\n') != std::string::npos)
-        return false;
-    *out = std::move(content);
-    return true;
-}
-
-#endif  // NORD_CAMPAIGN_POSIX
-
-/** Scheduling state of one point inside the orchestrator loop. */
-enum class PointPhase : std::uint8_t
-{
-    kPending = 0,   ///< ready to launch
-    kWaiting = 1,   ///< in backoff, launch when readyAt passes
-    kRunning = 2,   ///< a live worker owns it
-    kDone = 3,
-    kQuarantined = 4,
-};
-
-struct PointRuntime
-{
-    PointPhase phase = PointPhase::kPending;
-    double readyAt = 0.0;  ///< backoff deadline (monotonic)
-};
-
-/** One live worker process. */
-struct WorkerSlot
-{
-    long pid = -1;
-    std::uint64_t point = 0;
-    double lastProgress = 0.0;   ///< spawn or last heartbeat (monotonic)
-    std::uint64_t lastMtimeNs = 0;
-    bool haveMtime = false;
-    bool killedForHang = false;
-    bool killedForChaos = false;
-};
 
 }  // namespace
 
@@ -178,6 +44,12 @@ void
 clearCampaignDrain()
 {
     g_drainRequested = 0;
+}
+
+bool
+campaignDrainRequested()
+{
+    return g_drainRequested != 0;
 }
 
 // --- Report rendering ---------------------------------------------------
@@ -355,6 +227,15 @@ runCampaign(const std::vector<PointSpec> &specs,
                                         std::strerror(errno));
         return false;
     }
+    if (fileExists(opts.outDir + "/campaign.json")) {
+        // A manifest marks a multi-executor campaign: its journals are
+        // per-executor and its shards are lease-protected. A classic
+        // orchestrator would bypass both protocols.
+        if (err)
+            *err = opts.outDir + " is a multi-executor campaign "
+                   "directory; drain it with --join";
+        return false;
+    }
 
     const std::uint64_t gridFp = gridFingerprint(specs);
     CampaignJournal journal;
@@ -386,17 +267,6 @@ runCampaign(const std::vector<PointSpec> &specs,
     const int maxWorkers = std::max(1, opts.workers);
     const int maxFailures = std::max(1, opts.maxFailures);
     bool orchestrationFailed = false;
-
-    auto killFleet = [&fleet]() {
-        for (WorkerSlot &slot : fleet) {
-            if (slot.pid > 0) {
-                kill(static_cast<pid_t>(slot.pid), SIGKILL);
-                int st = 0;
-                waitpid(static_cast<pid_t>(slot.pid), &st, 0);
-            }
-        }
-        fleet.clear();
-    };
 
     /** Journal + schedule the consequences of one reaped worker. */
     auto handleExit = [&](const WorkerSlot &slot, int wstatus) {
@@ -472,29 +342,9 @@ runCampaign(const std::vector<PointSpec> &specs,
         if (!journal.appendAttempt(id, p.launches + 1))
             return false;
         p.launches += 1;
-        const pid_t pid = fork();
-        if (pid < 0) {
-            // Transient resource exhaustion: try again next tick.
-            std::fprintf(diagStream(), "[campaign] fork failed: %s\n",
-                         std::strerror(errno));
-            return false;
-        }
-        if (pid == 0) {
-            std::signal(SIGINT, SIG_DFL);
-            std::signal(SIGTERM, SIG_DFL);
-            // Truncate, don't append: the quarantine stderr tail must
-            // describe THIS attempt, not an accumulation of every prior
-            // kill (which would vary with chaos timing).
-            const int fd = ::open(paths.stderrLog.c_str(),
-                                  O_WRONLY | O_CREAT | O_TRUNC, 0644);
-            if (fd >= 0) {
-                if (dup2(fd, 2) < 0) {
-                    // Diagnostics stay on the inherited fd 2; harmless.
-                }
-                ::close(fd);
-            }
-            _exit(runPointWorker(specs[id], paths, opts.worker));
-        }
+        const long pid = spawnPointWorker(specs[id], paths, opts.worker);
+        if (pid < 0)
+            return false;  // transient: try again next tick
         WorkerSlot slot;
         slot.pid = pid;
         slot.point = id;
@@ -548,7 +398,7 @@ runCampaign(const std::vector<PointSpec> &specs,
             if (!slot.killedForHang && !slot.killedForChaos &&
                 now - slot.lastProgress > opts.hangTimeoutSec) {
                 slot.killedForHang = true;
-                kill(static_cast<pid_t>(slot.pid), SIGKILL);
+                killWorkerGroup(slot.pid);
                 std::fprintf(diagStream(),
                              "[campaign] point %llu hung (no heartbeat "
                              "for %.1fs), killed worker %ld\n",
@@ -573,7 +423,7 @@ runCampaign(const std::vector<PointSpec> &specs,
                 WorkerSlot &slot =
                     fleet[victims[chaosRng.uniformInt(victims.size())]];
                 slot.killedForChaos = true;
-                kill(static_cast<pid_t>(slot.pid), SIGKILL);
+                killWorkerGroup(slot.pid);
                 outcome.chaosKills += 1;
                 std::fprintf(diagStream(),
                              "[campaign] chaos: killed worker %ld "
@@ -610,7 +460,7 @@ runCampaign(const std::vector<PointSpec> &specs,
         sleepSec(opts.pollIntervalSec);
     }
 
-    killFleet();
+    killFleet(&fleet);
 
     if (!orchestrationFailed && !journal.ok()) {
         orchestrationFailed = true;

@@ -52,6 +52,15 @@ struct ChaosOptions
     std::uint64_t seed = 1;        ///< schedule + victim selection seed
     double meanIntervalSec = 0.5;  ///< mean time between kills
     int maxKills = 0;              ///< stop after this many (0 = no cap)
+
+    // Partition chaos (multi-executor mode only): SIGSTOP the executor
+    // itself for partitionDurationSec on a seeded schedule, simulating
+    // a network partition -- lease expiry, takeover by another
+    // executor, and a stale-writer resume, the full self-fencing path.
+    double partitionMeanSec = 0.0;     ///< mean time between (0 = off)
+    double partitionDurationSec = 0.0; ///< suspension length
+    int maxPartitions = 1;             ///< stop after this many (floored
+                                       ///< to 1; unbounded is never sane)
 };
 
 /** Orchestrator knobs. */
@@ -111,6 +120,9 @@ void requestCampaignDrain();
 
 /** Reset the drain latch (tests run several campaigns per process). */
 void clearCampaignDrain();
+
+/** Poll the drain latch (the multi-executor loop shares it). */
+bool campaignDrainRequested();
 
 // --- Report rendering (exposed for tests) -------------------------------
 

@@ -13,6 +13,7 @@
 #include "common/log.hh"
 
 #ifndef _WIN32
+#include <fcntl.h>
 #include <unistd.h>
 #endif
 
@@ -40,6 +41,37 @@ readAll(std::FILE *f, void *p, std::size_t n)
 }
 
 }  // namespace
+
+bool
+fsyncParentDir(const std::string &path, std::string *err)
+{
+#ifndef _WIN32
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash);
+    const int fd = ::open(dir.empty() ? "/" : dir.c_str(),
+                          O_RDONLY | O_DIRECTORY);
+    if (fd < 0) {
+        setErr(err, detail::formatString("cannot open directory %s: %s",
+                                         dir.c_str(),
+                                         std::strerror(errno)));
+        return false;
+    }
+    const bool ok = fsync(fd) == 0;
+    if (!ok)
+        setErr(err, detail::formatString("fsync of directory %s failed: %s",
+                                         dir.c_str(),
+                                         std::strerror(errno)));
+    if (::close(fd) != 0) {
+        // The fsync result already told us whether the entry is durable.
+    }
+    return ok;
+#else
+    (void)path;
+    (void)err;
+    return true;
+#endif
+}
 
 std::uint64_t
 fnv1a(const std::vector<std::uint8_t> &bytes)
@@ -127,7 +159,7 @@ writeCheckpointFile(const std::string &path, const CheckpointMeta &meta,
         std::remove(tmp.c_str());
         return false;
     }
-    return true;
+    return fsyncParentDir(path, err);
 }
 
 bool

@@ -70,6 +70,21 @@ bool readCheckpointFile(const std::string &path, CheckpointMeta *meta,
                         std::vector<std::uint8_t> *payload,
                         std::string *err = nullptr);
 
+/**
+ * fsync the directory containing @p path. An atomic temp+fsync+rename
+ * sequence is only durable once the DIRECTORY entry itself is on disk:
+ * the file's fsync persists the bytes, but the rename lives in the parent
+ * directory's data, and a power loss right after rename() can otherwise
+ * resurface the old name (or no name at all) on the next mount. Every
+ * rename in the durability layers (checkpoints, campaign journals, lease
+ * files) must be followed by this call; nord-lint's unchecked-io rule
+ * enforces it for src/ckpt/ and src/campaign/.
+ *
+ * Returns false and sets @p err when the directory cannot be opened or
+ * synced. A no-op (true) on platforms without directory fsync semantics.
+ */
+bool fsyncParentDir(const std::string &path, std::string *err = nullptr);
+
 /** FNV-1a 64-bit digest of a byte buffer. */
 std::uint64_t fnv1a(const std::vector<std::uint8_t> &bytes);
 

@@ -432,6 +432,58 @@ checkUncheckedIo(const std::string &path, const std::string &original,
                                "with nord-lint-allow(unchecked-io))"});
         }
     }
+
+    // A checked rename() is still not durable by itself: the new
+    // directory entry lives in the parent directory's data, and a power
+    // loss right after rename() can resurface the old file on the next
+    // mount. Every rename in durability code must therefore be followed
+    // by a fsyncParentDir() call nearby (same atomic-publish sequence);
+    // "nearby" is a window of a few lines, wide enough for the error
+    // branch between them, narrow enough that the fsync is visibly part
+    // of the same operation.
+    constexpr int kDirFsyncWindow = 12;
+    for (size_t i = stripped.find("rename"); i != std::string::npos;
+         i = stripped.find("rename", i + 6)) {
+        if (!isWordAt(stripped, i, "rename", 6))
+            continue;
+        size_t j = i + 6;
+        while (j < stripped.size() &&
+               std::isspace(static_cast<unsigned char>(stripped[j])))
+            ++j;
+        if (j >= stripped.size() || stripped[j] != '(')
+            continue;
+        // A word character immediately left of the name (after a
+        // possible std:: qualifier) means a declaration's return type
+        // (`int rename(...)`) -- not a call site.
+        size_t b = i;
+        if (b >= 5 && stripped.compare(b - 5, 5, "std::") == 0)
+            b -= 5;
+        while (b > 0 &&
+               std::isspace(static_cast<unsigned char>(stripped[b - 1])))
+            --b;
+        if (b > 0 && isWordChar(stripped[b - 1]))
+            continue;
+        const int line = lineOf(stripped, i);
+        bool synced = false;
+        for (size_t f = stripped.find("fsyncParentDir", i);
+             f != std::string::npos;
+             f = stripped.find("fsyncParentDir", f + 14)) {
+            if (lineOf(stripped, f) <= line + kDirFsyncWindow) {
+                synced = true;
+            }
+            break;
+        }
+        if (synced)
+            continue;
+        if (allowedAt(original, line, "unchecked-io", nullptr))
+            continue;
+        out.push_back({path, line, "unchecked-io",
+                       "rename() without a nearby fsyncParentDir() in "
+                       "durability code: the new directory entry is not "
+                       "durable until the parent directory is fsynced "
+                       "(publish via fsyncParentDir after the rename, or "
+                       "annotate with nord-lint-allow(unchecked-io))"});
+    }
 }
 
 void

@@ -25,8 +25,15 @@
 #include "campaign/backoff.hh"
 #include "campaign/campaign_point.hh"
 #include "campaign/exit_codes.hh"
+#include "campaign/fleet.hh"
 #include "campaign/journal.hh"
 #include "campaign/orchestrator.hh"
+
+#ifdef NORD_CAMPAIGN_POSIX
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
 
 namespace nord {
 namespace campaign {
@@ -81,6 +88,8 @@ TEST(CampaignExitCodes, ClassificationTable)
               FailureClass::kBadConfig);
     EXPECT_EQ(classifyExit(true, kExitInfraFailure, false, 0),
               FailureClass::kInfra);
+    EXPECT_EQ(classifyExit(true, kExitLeaseLost, false, 0),
+              FailureClass::kLeaseLost);
     // Outside the taxonomy: asserts (134 via abort is a signal, but a
     // plain exit(1)) and sanitizer exits classify as unknown -> retried.
     EXPECT_EQ(classifyExit(true, 1, false, 0), FailureClass::kUnknown);
@@ -105,12 +114,16 @@ TEST(CampaignExitCodes, RetryAndQuarantineSemantics)
     EXPECT_FALSE(isDeterministicFailure(FailureClass::kCrash));
     EXPECT_FALSE(isDeterministicFailure(FailureClass::kHang));
     EXPECT_FALSE(isDeterministicFailure(FailureClass::kChaos));
+    EXPECT_FALSE(isDeterministicFailure(FailureClass::kLeaseLost));
     EXPECT_FALSE(isDeterministicFailure(FailureClass::kUnknown));
 
     EXPECT_FALSE(failureCountsTowardQuarantine(FailureClass::kNone));
     EXPECT_FALSE(failureCountsTowardQuarantine(FailureClass::kChaos))
         << "chaos kills are the supervisor's own doing and must never "
            "charge the point's budget";
+    EXPECT_FALSE(failureCountsTowardQuarantine(FailureClass::kLeaseLost))
+        << "lease loss is a fleet event: the shard's next owner retries "
+           "the point, which must never be charged for it";
     EXPECT_TRUE(failureCountsTowardQuarantine(FailureClass::kInfra));
     EXPECT_TRUE(failureCountsTowardQuarantine(FailureClass::kHang));
     EXPECT_TRUE(failureCountsTowardQuarantine(FailureClass::kCrash));
@@ -584,6 +597,67 @@ TEST(CampaignEndToEnd, ChaosKillsNeverChangeTheReport)
            "so the report must not change";
     EXPECT_EQ(slurp(chaotic.reportCsv), slurp(clean.reportCsv));
 }
+
+#ifdef __linux__
+// A SIGKILL'd orchestrator gets no chance to run any cleanup path; only
+// the workers' own PR_SET_PDEATHSIG (fleet.cc) can reap them. Fork an
+// orchestrator, wait until its workers heartbeat, SIGKILL it, and
+// verify every checkpoint mtime freezes -- an orphaned worker would
+// keep heartbeating.
+TEST(CampaignEndToEnd, SigkilledOrchestratorLeavesNoOrphanWorkers)
+{
+    clearCampaignDrain();
+    const std::string dir = freshDir("campaign_orphan");
+    GridSpec grid = e2eGrid();
+    grid.measure = 500000000;  // effectively unbounded at test scale
+    const std::vector<PointSpec> specs = expandGrid(grid);
+
+    const pid_t orch = fork();
+    ASSERT_GE(orch, 0) << "fork failed";
+    if (orch == 0) {
+        OrchestratorOptions opts = e2eOptions(dir);
+        opts.worker.checkpointEvery = 50;  // rapid heartbeats
+        CampaignOutcome out;
+        std::string err;
+        runCampaign(specs, opts, &out, &err);
+        _exit(0);
+    }
+
+    // Wait for a live heartbeat: point 0's checkpoint mtime must tick.
+    const std::string ckpt0 = pointPaths(dir, specs[0].id).checkpoint;
+    std::uint64_t last = 0;
+    bool beating = false;
+    const double deadline = monotonicSec() + 30.0;
+    while (monotonicSec() < deadline && !beating) {
+        std::uint64_t m = 0;
+        if (fileMtimeNs(ckpt0, &m)) {
+            beating = (last != 0 && m != last);
+            last = m;
+        }
+        sleepSec(0.02);
+    }
+    ASSERT_TRUE(beating) << "workers never started heartbeating";
+
+    ASSERT_EQ(kill(orch, SIGKILL), 0);
+    int status = 0;
+    ASSERT_EQ(waitpid(orch, &status, 0), orch);
+
+    // PDEATHSIG delivery is immediate; allow in-flight writes to land,
+    // then require every checkpoint mtime to be frozen across a window
+    // several heartbeat periods long.
+    sleepSec(0.3);
+    for (const PointSpec &s : specs) {
+        const std::string ckpt = pointPaths(dir, s.id).checkpoint;
+        std::uint64_t before = 0;
+        const bool existed = fileMtimeNs(ckpt, &before);
+        sleepSec(0.7);
+        std::uint64_t after = 0;
+        EXPECT_EQ(fileMtimeNs(ckpt, &after), existed);
+        EXPECT_EQ(after, before)
+            << "an orphaned worker is still heartbeating " << ckpt;
+    }
+}
+#endif  // __linux__
 
 }  // namespace
 }  // namespace campaign

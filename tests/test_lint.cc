@@ -333,11 +333,13 @@ flushJournal(std::FILE *f, int fd)
     std::rename(tmp, path);
 }
 )cc";
+    // Five findings: four discarded results, plus the rename's missing
+    // parent-directory fsync (a separate unchecked-io finding).
     const std::vector<LintFinding> fs =
         lint("src/campaign/journal.cc", bare);
-    EXPECT_EQ(countCheck(fs, "unchecked-io"), 4);
+    EXPECT_EQ(countCheck(fs, "unchecked-io"), 5);
     EXPECT_EQ(countCheck(lint("src/ckpt/checkpoint.cc", bare),
-                         "unchecked-io"), 4);
+                         "unchecked-io"), 5);
     // Only the durability layers are in scope: elsewhere an ignored
     // fflush is merely sloppy, not a resumability bug.
     EXPECT_TRUE(lint("src/router/router.cc", bare).empty());
@@ -354,7 +356,9 @@ flushJournal(std::FILE *f, int fd)
         return false;
     bool ok = (std::fflush(f) == 0);
     ok = (fsync(fd) == 0) && ok;
-    return ok && std::rename(tmp, path) == 0;
+    if (!ok || std::rename(tmp, path) != 0)
+        return false;
+    return fsyncParentDir(path);
 }
 )cc";
     EXPECT_TRUE(lint("src/ckpt/checkpoint.cc", checked).empty());
@@ -392,10 +396,92 @@ bestEffortCleanup(const char *a, const char *b)
     rename(a, b);
 }
 )cc";
+    // Discarded result + missing parent-directory fsync.
     const std::vector<LintFinding> fs =
         lint("src/campaign/journal.cc", unannotated);
+    ASSERT_EQ(fs.size(), 2u);
+    EXPECT_EQ(fs[0].check, "unchecked-io");
+    EXPECT_EQ(fs[1].check, "unchecked-io");
+}
+
+TEST(NordLint, UncheckedIoRenameRequiresDirFsync)
+{
+    // A CHECKED rename is still not durable: without fsyncing the
+    // parent directory the new entry can vanish on power loss.
+    const char *noDirSync = R"cc(
+bool
+publish(const char *tmp, const char *path)
+{
+    if (std::rename(tmp, path) != 0)
+        return false;
+    return true;
+}
+)cc";
+    const std::vector<LintFinding> fs =
+        lint("src/campaign/lease.cc", noDirSync);
     ASSERT_EQ(fs.size(), 1u);
     EXPECT_EQ(fs[0].check, "unchecked-io");
+    EXPECT_NE(fs[0].message.find("fsyncParentDir"), std::string::npos);
+
+    // fsyncParentDir within the window satisfies the rule, even with
+    // an error branch between the two calls.
+    const char *synced = R"cc(
+bool
+publish(const char *tmp, const char *path, std::string *err)
+{
+    if (std::rename(tmp, path) != 0) {
+        setErr(err, "rename failed");
+        std::remove(tmp);
+        return false;
+    }
+    return fsyncParentDir(path, err);
+}
+)cc";
+    EXPECT_TRUE(lint("src/ckpt/checkpoint.cc", synced).empty());
+
+    // A fsyncParentDir far below (a different operation) does not
+    // excuse the rename.
+    const char *farAway = R"cc(
+bool
+publish(const char *tmp, const char *path)
+{
+    if (std::rename(tmp, path) != 0)
+        return false;
+    return true;
+}
+
+
+
+
+void a();
+void b();
+void c();
+void d();
+void e();
+bool
+other(const char *path)
+{
+    return fsyncParentDir(path);
+}
+)cc";
+    EXPECT_EQ(countCheck(lint("src/campaign/journal.cc", farAway),
+                         "unchecked-io"), 1);
+
+    // Annotation suppresses, as for every unchecked-io finding.
+    const char *annotated = R"cc(
+bool
+publish(const char *tmp, const char *path)
+{
+    // nord-lint-allow(unchecked-io): tmpfs scratch, durability moot
+    if (std::rename(tmp, path) != 0)
+        return false;
+    return true;
+}
+)cc";
+    EXPECT_TRUE(lint("src/campaign/lease.cc", annotated).empty());
+
+    // Out of durability scope the rule does not apply.
+    EXPECT_TRUE(lint("src/router/router.cc", noDirSync).empty());
 }
 
 TEST(NordLint, StripCodeIgnoresCommentsAndStrings)

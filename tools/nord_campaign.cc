@@ -10,9 +10,19 @@
  * at any moment, rerun the same command line, and it resumes from the
  * journal to a byte-identical report. See DESIGN.md section 5.9.
  *
+ * With --join, any number of nord-campaign processes (same host or
+ * different machines over a shared filesystem) cooperatively drain the
+ * SAME campaign directory: work is claimed through per-shard lease
+ * files with monotonic fencing tokens, an executor that loses its
+ * lease self-fences and exits kExitLeaseLost, and a deterministic
+ * merge of the per-executor journals keeps report.json / report.csv
+ * byte-identical regardless of fleet membership history. See DESIGN.md
+ * section 5.10.
+ *
  * Exit codes follow the campaign taxonomy (src/campaign/exit_codes.hh):
  * 0 when every point completed, 10 when any point was quarantined, 12
- * on orchestration failure, 13 when drained by SIGINT/SIGTERM.
+ * on orchestration failure, 13 when drained by SIGINT/SIGTERM, 14 when
+ * this executor lost a shard lease and self-fenced.
  */
 
 #include <csignal>
@@ -23,6 +33,7 @@
 #include <vector>
 
 #include "campaign/campaign_point.hh"
+#include "campaign/executor.hh"
 #include "campaign/exit_codes.hh"
 #include "campaign/orchestrator.hh"
 #include "verify/static/config_registry.hh"
@@ -77,6 +88,25 @@ usage()
         "  --rotate-events N    journal compaction threshold (default\n"
         "                       4096)\n"
         "\n"
+        "multi-executor mode:\n"
+        "  --join DIR           join (or start) the shared campaign in\n"
+        "                       DIR: work is claimed shard-by-shard via\n"
+        "                       lease files with fencing tokens, every\n"
+        "                       executor appends to its own journal, and\n"
+        "                       a deterministic merge yields the same\n"
+        "                       report bytes as a single-executor run.\n"
+        "                       Run the same command in N terminals (or\n"
+        "                       on N machines over a shared filesystem)\n"
+        "                       to drain the grid cooperatively\n"
+        "  --executor-id ID     stable executor id (default: generated\n"
+        "                       from host/pid)\n"
+        "  --shards N           shard count, first joiner only (default\n"
+        "                       min(points, 8); later joiners adopt the\n"
+        "                       manifest's)\n"
+        "  --lease-grace SEC    observed silence before a lease steal,\n"
+        "                       first joiner only (default 2)\n"
+        "  --lease-renew SEC    heartbeat period (default grace/8)\n"
+        "\n"
         "chaos self-test:\n"
         "  --chaos              kill random workers on a seeded schedule;\n"
         "                       kills are never counted against points,\n"
@@ -85,11 +115,24 @@ usage()
         "  --chaos-seed N       schedule seed (default 1)\n"
         "  --chaos-interval S   mean seconds between kills (default 0.5)\n"
         "  --chaos-max-kills N  stop killing after N (default unlimited)\n"
+        "  --chaos-partition-mean S\n"
+        "                       (--join only) mean seconds between\n"
+        "                       self-partitions: SIGSTOP this executor,\n"
+        "                       let its leases expire, SIGCONT it and\n"
+        "                       watch it self-fence (default off)\n"
+        "  --chaos-partition-duration S\n"
+        "                       suspension length (default 0)\n"
+        "  --chaos-max-partitions N\n"
+        "                       stop after N partitions (default 1)\n"
         "  --poison-points LIST point ids forced to fail their gate\n"
         "                       deterministically (quarantine test)\n"
         "  --hang-points LIST   point ids forced to stop heartbeating\n"
         "                       (hang-kill test)\n"
         "\n"
+        "  --drain-after-launches N\n"
+        "                       (--join only) drain this executor after\n"
+        "                       N worker launches -- deterministic\n"
+        "                       handover testing (default off)\n"
         "  --list               print the expanded grid and exit\n"
         "  --help               this text\n");
 }
@@ -157,6 +200,12 @@ main(int argc, char **argv)
     std::vector<std::uint64_t> poisonIds;
     std::vector<std::uint64_t> hangIds;
     bool list = false;
+    bool join = false;
+    std::string executorId;
+    std::uint64_t shardCount = 0;
+    double leaseGraceSec = 2.0;
+    double leaseRenewSec = 0.0;
+    std::uint64_t drainAfterLaunches = 0;
 
     auto needValue = [&](int i) -> const char * {
         if (i + 1 >= argc) {
@@ -175,6 +224,25 @@ main(int argc, char **argv)
             list = true;
         } else if (a == "--out") {
             opts.outDir = needValue(i);
+            ++i;
+        } else if (a == "--join") {
+            join = true;
+            opts.outDir = needValue(i);
+            ++i;
+        } else if (a == "--executor-id") {
+            executorId = needValue(i);
+            ++i;
+        } else if (a == "--shards") {
+            shardCount = std::strtoull(needValue(i), nullptr, 10);
+            ++i;
+        } else if (a == "--lease-grace") {
+            leaseGraceSec = std::atof(needValue(i));
+            ++i;
+        } else if (a == "--lease-renew") {
+            leaseRenewSec = std::atof(needValue(i));
+            ++i;
+        } else if (a == "--drain-after-launches") {
+            drainAfterLaunches = std::strtoull(needValue(i), nullptr, 10);
             ++i;
         } else if (a == "--designs") {
             grid.designs.clear();
@@ -275,6 +343,15 @@ main(int argc, char **argv)
         } else if (a == "--chaos-max-kills") {
             opts.chaos.maxKills = std::atoi(needValue(i));
             ++i;
+        } else if (a == "--chaos-partition-mean") {
+            opts.chaos.partitionMeanSec = std::atof(needValue(i));
+            ++i;
+        } else if (a == "--chaos-partition-duration") {
+            opts.chaos.partitionDurationSec = std::atof(needValue(i));
+            ++i;
+        } else if (a == "--chaos-max-partitions") {
+            opts.chaos.maxPartitions = std::atoi(needValue(i));
+            ++i;
         } else if (a == "--poison-points") {
             if (!parseU64List(needValue(i), &poisonIds)) {
                 std::fprintf(stderr, "bad --poison-points list\n");
@@ -310,7 +387,8 @@ main(int argc, char **argv)
         return 0;
     }
     if (opts.outDir.empty()) {
-        std::fprintf(stderr, "--out DIR is required (--help)\n");
+        std::fprintf(stderr, "--out DIR or --join DIR is required "
+                             "(--help)\n");
         return kExitBadConfig;
     }
     if (specs.empty()) {
@@ -335,6 +413,59 @@ main(int argc, char **argv)
 
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
+
+    if (join) {
+        ExecutorOptions eopts;
+        eopts.outDir = opts.outDir;
+        eopts.execId = executorId;
+        eopts.shards = shardCount;
+        eopts.leaseGraceSec = leaseGraceSec;
+        eopts.leaseRenewSec = leaseRenewSec;
+        eopts.workers = opts.workers;
+        eopts.maxFailures = opts.maxFailures;
+        eopts.hangTimeoutSec = opts.hangTimeoutSec;
+        eopts.pollIntervalSec = opts.pollIntervalSec;
+        eopts.backoff = opts.backoff;
+        eopts.worker = opts.worker;
+        eopts.chaos = opts.chaos;
+        eopts.drainAfterLaunches = drainAfterLaunches;
+
+        ExecutorOutcome eout;
+        std::string eerr;
+        if (!runExecutor(specs, eopts, &eout, &eerr)) {
+            std::fprintf(stderr, "campaign executor failed: %s\n",
+                         eerr.c_str());
+            return kExitInfraFailure;
+        }
+        std::printf("nord-campaign[%s]: completed %llu, quarantined "
+                    "%llu, missing %llu (launched %llu, %llu chaos "
+                    "kill(s), %llu partition(s), %llu stale commit(s) "
+                    "dropped)\n",
+                    eout.execId.c_str(),
+                    static_cast<unsigned long long>(eout.completed),
+                    static_cast<unsigned long long>(eout.quarantined),
+                    static_cast<unsigned long long>(eout.missing),
+                    static_cast<unsigned long long>(eout.launches),
+                    static_cast<unsigned long long>(eout.chaosKills),
+                    static_cast<unsigned long long>(eout.partitions),
+                    static_cast<unsigned long long>(eout.staleDropped));
+        if (eout.fenced) {
+            std::fprintf(stderr,
+                         "nord-campaign[%s]: lease lost (%s); the shard "
+                         "is retried by its new owner\n",
+                         eout.execId.c_str(), eout.fenceReason.c_str());
+            return kExitLeaseLost;
+        }
+        if (eout.interrupted) {
+            std::printf("nord-campaign: drained by signal; rerun the "
+                        "same command to resume\n");
+            return kExitInterrupted;
+        }
+        if (eout.wroteReports)
+            std::printf("nord-campaign: report %s\n",
+                        eout.reportJson.c_str());
+        return eout.quarantined > 0 ? kExitGateFailure : kExitOk;
+    }
 
     std::printf("nord-campaign: %zu points, %d workers, journal %s\n",
                 specs.size(), opts.workers,
