@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Full-stack campaign-point benchmark -> BENCH_campaign.json.
+ *
+ * One representative resilience-campaign point: an 8x8 NoRD mesh at
+ * moderate load with the fault injector, E2E retransmission and the
+ * periodic auditor all enabled, plus one checkpoint save+load in the
+ * middle -- i.e. everything a real campaign executor pays per point.
+ * This is the end-to-end number the perf gate watches: a regression
+ * anywhere in the stack (kernel walk, flit storage, fault hooks,
+ * audit sweeps, serialization) lands here.
+ */
+
+#include "perf_util.hh"
+
+#include <cstdio>
+
+#include "network/noc_system.hh"
+#include "traffic/synthetic_traffic.hh"
+
+namespace nord {
+namespace {
+
+/** Run one campaign point; returns flits injected. */
+std::uint64_t
+campaignPoint(Cycle cycles, const std::string &ckptPath)
+{
+    NocConfig cfg;
+    cfg.rows = 8;
+    cfg.cols = 8;
+    cfg.design = PgDesign::kNord;
+    cfg.fault.enabled = true;
+    cfg.fault.e2e = true;
+    cfg.fault.flitCorruptRate = 1e-4;
+    cfg.fault.flitDropRate = 1e-4;
+    cfg.fault.creditLeakRate = 5e-5;
+    cfg.verify.interval = 64;
+    cfg.verify.policy = AuditPolicy::kRecover;
+    NocSystem sys(cfg);
+    SyntheticTraffic traffic(TrafficPattern::kUniformRandom, 0.06, 13);
+    sys.setWorkload(&traffic);
+    sys.run(cycles / 2);
+    std::string err;
+    if (!sys.saveCheckpoint(ckptPath, {}, &err) ||
+        !sys.loadCheckpoint(ckptPath, nullptr, &err)) {
+        std::fprintf(stderr, "checkpoint roundtrip failed: %s\n",
+                     err.c_str());
+    }
+    sys.run(cycles - cycles / 2);
+    return sys.stats().flitsInjected();
+}
+
+}  // namespace
+}  // namespace nord
+
+int
+main()
+{
+    using namespace nord;
+    using namespace nord::perf;
+
+    const Cycle cycles = quickMode() ? 4'000 : 16'000;
+    const std::string ckpt = outPath("BENCH_campaign_point.ckpt");
+
+    JsonReport report("campaign");
+
+    std::uint64_t flits = 0;
+    const Sample s =
+        measureSteady([&] { flits = campaignPoint(cycles, ckpt); });
+    report.addThroughput("campaign_point", s,
+                         static_cast<double>(cycles),
+                         static_cast<double>(flits));
+
+    std::remove(ckpt.c_str());
+    return report.write(outPath("BENCH_campaign.json")) ? 0 : 1;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Router-datapath throughput microbenchmark -> BENCH_router.json.
+ *
+ * Saturates a 4x4 No_PG mesh (every router busy every cycle, so idle
+ * skipping is irrelevant by construction) and measures the flit hot
+ * path: flits/sec, ns/flit and -- the arena's reason to exist --
+ * allocs/cycle with pooled flit storage versus plain heap deques.
+ */
+
+#include "perf_util.hh"
+
+#include "network/noc_system.hh"
+#include "traffic/synthetic_traffic.hh"
+
+namespace nord {
+namespace {
+
+/** Run saturated uniform-random traffic; returns flits injected. */
+std::uint64_t
+saturated(bool arena, Cycle cycles)
+{
+    NocConfig cfg;
+    cfg.design = PgDesign::kNoPg;
+    cfg.perf.arena = arena;
+    NocSystem sys(cfg);
+    SyntheticTraffic traffic(TrafficPattern::kUniformRandom, 0.35, 11);
+    sys.setWorkload(&traffic);
+    sys.run(cycles);
+    return sys.stats().flitsInjected();
+}
+
+}  // namespace
+}  // namespace nord
+
+int
+main()
+{
+    using namespace nord;
+    using namespace nord::perf;
+
+    const Cycle cycles = quickMode() ? 10'000 : 40'000;
+
+    JsonReport report("router");
+
+    std::uint64_t flits = 0;
+    const Sample pooled =
+        measureSteady([&] { flits = saturated(true, cycles); });
+    const Sample heap =
+        measureSteady([&] { saturated(false, cycles); });
+
+    report.addThroughput("router_sat_arena", pooled,
+                         static_cast<double>(cycles),
+                         static_cast<double>(flits));
+    report.addThroughput("router_sat_heap", heap,
+                         static_cast<double>(cycles),
+                         static_cast<double>(flits));
+    if (heap.allocs > 0) {
+        report.add("router_sat_arena_alloc_ratio",
+                   static_cast<double>(pooled.allocs) /
+                       static_cast<double>(heap.allocs));
+    }
+
+    return report.write(outPath("BENCH_router.json")) ? 0 : 1;
+}

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Shared harness for the perf_* microbenchmarks (as opposed to the
+ * figure-reproduction macrobenches driven by bench_util.hh).
+ *
+ * Each perf binary measures simulator throughput -- cycles/sec,
+ * flits/sec, ns/flit, allocs/cycle -- and emits a flat, schema-versioned
+ * BENCH_<name>.json with ONE metric per line, so scripts/perf_gate.sh
+ * can diff a fresh run against the committed baseline with nothing but
+ * awk.
+ *
+ * Measurement discipline:
+ *  - every sample first runs a warmup slice that is thrown away;
+ *  - a sample is repeated until the recent repetitions are steady
+ *    (relative spread below a threshold) or a repetition cap is hit;
+ *  - the reported value is the BEST repetition (minimum wall time):
+ *    for a deterministic single-threaded simulator the minimum is the
+ *    least-noise estimate -- everything above it is scheduler/cache
+ *    interference;
+ *  - heap churn is observed by replacing global operator new/delete in
+ *    the benchmark binary (allocation COUNTS are deterministic even
+ *    though wall time is not);
+ *  - peak RSS comes from getrusage(), reported in MiB.
+ *
+ * JSON schema ("nord-perf-v1"): a flat object. Keys are metric names,
+ * values are numbers; the only non-numeric keys are "schema" and
+ * "bench". Lower-is-better metrics end in "_ns_per_flit" or
+ * "_allocs_per_cycle"; everything else numeric is higher-is-better.
+ * perf_gate.sh relies on exactly this naming rule.
+ */
+
+#ifndef NORD_BENCH_PERF_UTIL_HH
+#define NORD_BENCH_PERF_UTIL_HH
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <new>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define NORD_PERF_HAVE_RUSAGE 1
+#include <sys/resource.h>
+#endif
+
+namespace nord {
+namespace perf {
+
+// --- Global allocation counting ---------------------------------------------
+//
+// Defined here and ODR-owned by the single TU of each perf binary.
+// Counts every operator new/delete in the process; the benchmark loops
+// difference the counter around the measured region, so harness-side
+// allocations outside the region do not pollute allocs/cycle.
+
+inline std::uint64_t g_allocs = 0;      // NOLINT: per-binary counter
+inline std::uint64_t g_allocBytes = 0;  // NOLINT
+
+inline std::uint64_t
+allocCount()
+{
+    return g_allocs;
+}
+
+}  // namespace perf
+}  // namespace nord
+
+void *
+operator new(std::size_t size)
+{
+    ++nord::perf::g_allocs;
+    nord::perf::g_allocBytes += size;
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return operator new(size);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    operator delete(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    operator delete(p);
+}
+
+namespace nord {
+namespace perf {
+
+/** Wall-clock seconds (monotonic). */
+inline double
+wallSec()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+/** Peak resident set size in MiB (0 when unavailable). */
+inline double
+peakRssMiB()
+{
+#if NORD_PERF_HAVE_RUSAGE
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) != 0)
+        return 0.0;
+#if defined(__APPLE__)
+    return static_cast<double>(ru.ru_maxrss) / (1024.0 * 1024.0);
+#else
+    return static_cast<double>(ru.ru_maxrss) / 1024.0;
+#endif
+#else
+    return 0.0;
+#endif
+}
+
+/** One measured region: wall time plus the allocation delta inside it. */
+struct Sample
+{
+    double seconds = 0.0;
+    std::uint64_t allocs = 0;
+};
+
+/** Repetition policy. NORD_QUICK=1 halves the budget (noisier). */
+struct RepeatOptions
+{
+    int minReps = 3;
+    int maxReps = 12;
+    /** Steady when (max-min)/min over the last `window` reps is below. */
+    double steadySpread = 0.05;
+    int window = 3;
+};
+
+inline bool
+quickMode()
+{
+    const char *env = std::getenv("NORD_QUICK");
+    return env && env[0] == '1';
+}
+
+/**
+ * Measure @p body repeatedly until steady (or capped) and return the
+ * best repetition. @p body must perform the same deterministic work
+ * every call (build a fresh system inside it).
+ */
+inline Sample
+measureSteady(const std::function<void()> &body,
+              RepeatOptions opts = {})
+{
+    if (quickMode()) {
+        opts.minReps = std::max(1, opts.minReps / 2);
+        opts.maxReps = std::max(2, opts.maxReps / 2);
+    }
+    body();  // warmup: touch code + data, throw away
+
+    std::vector<Sample> reps;
+    for (int i = 0; i < opts.maxReps; ++i) {
+        const std::uint64_t a0 = allocCount();
+        const double t0 = wallSec();
+        body();
+        const double t1 = wallSec();
+        reps.push_back({t1 - t0, allocCount() - a0});
+        if (static_cast<int>(reps.size()) >= opts.minReps &&
+            static_cast<int>(reps.size()) >= opts.window) {
+            double lo = 1e300, hi = 0.0;
+            for (std::size_t j = reps.size() - opts.window;
+                 j < reps.size(); ++j) {
+                lo = std::min(lo, reps[j].seconds);
+                hi = std::max(hi, reps[j].seconds);
+            }
+            if (lo > 0.0 && (hi - lo) / lo < opts.steadySpread)
+                break;  // steady state reached
+        }
+    }
+    return *std::min_element(reps.begin(), reps.end(),
+                             [](const Sample &a, const Sample &b) {
+                                 return a.seconds < b.seconds;
+                             });
+}
+
+// --- JSON emission ----------------------------------------------------------
+
+/** Accumulates metrics and writes the flat one-metric-per-line JSON. */
+class JsonReport
+{
+  public:
+    explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+    void add(const std::string &key, double value)
+    {
+        metrics_.push_back({key, value});
+    }
+
+    /** Derive + add the standard throughput trio for one region. */
+    void addThroughput(const std::string &prefix, const Sample &s,
+                       double cycles, double flits)
+    {
+        if (s.seconds > 0.0) {
+            add(prefix + "_cycles_per_sec", cycles / s.seconds);
+            if (flits > 0.0) {
+                add(prefix + "_flits_per_sec", flits / s.seconds);
+                add(prefix + "_ns_per_flit", s.seconds * 1e9 / flits);
+            }
+        }
+        if (cycles > 0.0) {
+            add(prefix + "_allocs_per_cycle",
+                static_cast<double>(s.allocs) / cycles);
+        }
+    }
+
+    /**
+     * Write to @p path and echo to stdout. Layout is load-bearing:
+     * perf_gate.sh parses `"key": value,` one pair per line.
+     */
+    bool write(const std::string &path) const
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return false;
+        }
+        std::fprintf(f, "{\n");
+        std::fprintf(f, "\"schema\": \"nord-perf-v1\",\n");
+        std::fprintf(f, "\"bench\": \"%s\",\n", bench_.c_str());
+        std::fprintf(f, "\"rss_peak_mib\": %.3f", peakRssMiB());
+        for (const auto &m : metrics_)
+            std::fprintf(f, ",\n\"%s\": %.6g", m.first.c_str(),
+                         m.second);
+        std::fprintf(f, "\n}\n");
+        std::fclose(f);
+
+        std::printf("# %s\n", path.c_str());
+        for (const auto &m : metrics_)
+            std::printf("%-48s %14.6g\n", m.first.c_str(), m.second);
+        return true;
+    }
+
+  private:
+    std::string bench_;
+    std::vector<std::pair<std::string, double>> metrics_;
+};
+
+/** Output path: $NORD_BENCH_OUT or the current directory. */
+inline std::string
+outPath(const std::string &file)
+{
+    if (const char *dir = std::getenv("NORD_BENCH_OUT"))
+        return std::string(dir) + "/" + file;
+    return file;
+}
+
+}  // namespace perf
+}  // namespace nord
+
+#endif  // NORD_BENCH_PERF_UTIL_HH

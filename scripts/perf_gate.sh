@@ -1,0 +1,138 @@
+#!/usr/bin/env bash
+# perf_gate.sh -- compare fresh BENCH_*.json runs against the committed
+# baselines and fail on real regressions.
+#
+# Usage:
+#   perf_gate.sh [--report-only] [--tolerance PCT] [--fail-ratio R]
+#                FRESH_DIR [BASELINE_DIR]
+#
+#   FRESH_DIR     directory holding the just-produced BENCH_*.json
+#   BASELINE_DIR  directory with the committed baselines (default: the
+#                 repository root, i.e. this script's parent directory)
+#
+# Policy (two thresholds, so noisy runners stay useful):
+#   - a metric worse than baseline by more than --tolerance percent
+#     (default 30) is a WARNING: exit 1 in strict mode, exit 0 with
+#     --report-only (shared CI runners jitter far beyond microbenchmark
+#     noise floors);
+#   - a metric worse by more than --fail-ratio x (default 2.0) is a HARD
+#     FAILURE in every mode: no amount of runner noise makes a
+#     deterministic single-threaded simulator 2x slower.
+#
+# Direction is derived from the metric name (the nord-perf-v1 schema
+# contract): *_ns_per_flit and *_allocs_per_cycle are lower-is-better,
+# every other numeric metric is higher-is-better. "schema", "bench" and
+# "rss_peak_mib" are informational and never gated (RSS depends on the
+# allocator and the runner).
+
+set -u
+
+report_only=0
+tolerance=30
+fail_ratio=2.0
+
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --report-only) report_only=1; shift ;;
+        --tolerance) tolerance="$2"; shift 2 ;;
+        --fail-ratio) fail_ratio="$2"; shift 2 ;;
+        -h|--help) sed -n '2,27p' "$0"; exit 0 ;;
+        *) break ;;
+    esac
+done
+
+if [ $# -lt 1 ]; then
+    echo "usage: $0 [--report-only] [--tolerance PCT] [--fail-ratio R]" \
+         "FRESH_DIR [BASELINE_DIR]" >&2
+    exit 2
+fi
+fresh_dir=$1
+base_dir=${2:-$(cd "$(dirname "$0")/.." && pwd)}
+
+# Emit "key value" pairs from a flat nord-perf-v1 JSON (one per line).
+metrics() {
+    awk -F'"' '/^"/ {
+        key = $2
+        val = $3
+        sub(/^:[ \t]*/, "", val)
+        sub(/,?[ \t]*$/, "", val)
+        if (val + 0 == val)  # numeric only
+            print key, val
+    }' "$1"
+}
+
+warnings=0
+failures=0
+compared=0
+
+for base in "$base_dir"/BENCH_*.json; do
+    [ -e "$base" ] || { echo "no baselines in $base_dir" >&2; exit 2; }
+    name=$(basename "$base")
+    fresh="$fresh_dir/$name"
+    if [ ! -e "$fresh" ]; then
+        echo "MISSING  $name: not produced by this run"
+        failures=$((failures + 1))
+        continue
+    fi
+    schema=$(awk -F'"' '/^"schema"/ {print $4}' "$fresh")
+    if [ "$schema" != "nord-perf-v1" ]; then
+        echo "MISSING  $name: unknown schema '$schema'"
+        failures=$((failures + 1))
+        continue
+    fi
+    echo "== $name"
+    result=$(
+        metrics "$base" | while read -r key baseval; do
+            case "$key" in rss_peak_mib) continue ;; esac
+            freshval=$(metrics "$fresh" | awk -v k="$key" \
+                       '$1 == k {print $2; exit}')
+            if [ -z "$freshval" ]; then
+                echo "F $key missing-from-fresh-run"
+                continue
+            fi
+            awk -v k="$key" -v b="$baseval" -v f="$freshval" \
+                -v tol="$tolerance" -v fr="$fail_ratio" '
+            BEGIN {
+                lower = (k ~ /_ns_per_flit$/ || k ~ /_allocs_per_cycle$/)
+                # ratio > 1 means "worse than baseline".
+                if (b <= 0 || f <= 0) { print "S", k, "non-positive"; exit }
+                ratio = lower ? f / b : b / f
+                pct = (ratio - 1) * 100
+                if (ratio >= fr)
+                    printf "F %s worse %.1f%% (base %g, now %g)\n", \
+                           k, pct, b, f
+                else if (pct > tol)
+                    printf "W %s worse %.1f%% (base %g, now %g)\n", \
+                           k, pct, b, f
+                else
+                    printf "P %s %+.1f%% (base %g, now %g)\n", \
+                           k, -pct, b, f
+            }'
+        done
+    )
+    echo "$result" | while read -r tag rest; do
+        case "$tag" in
+            F) echo "  FAIL  $rest" ;;
+            W) echo "  WARN  $rest" ;;
+            P) echo "  ok    $rest" ;;
+            S) echo "  skip  $rest" ;;
+        esac
+    done
+    failures=$((failures + $(echo "$result" | grep -c '^F')))
+    warnings=$((warnings + $(echo "$result" | grep -c '^W')))
+    compared=$((compared + $(echo "$result" | grep -c '^[PW]')))
+done
+
+echo
+echo "perf gate: $compared metrics compared," \
+     "$warnings warnings, $failures hard failures"
+if [ "$failures" -gt 0 ]; then
+    echo "perf gate: FAILED (>${fail_ratio}x regression or missing data)"
+    exit 1
+fi
+if [ "$warnings" -gt 0 ] && [ "$report_only" -eq 0 ]; then
+    echo "perf gate: FAILED (regressions beyond ${tolerance}% tolerance)"
+    exit 1
+fi
+echo "perf gate: OK"
+exit 0

@@ -38,8 +38,11 @@
 
 namespace nord {
 
-/** Current checkpoint container format version (2: header digest). */
-inline constexpr std::uint32_t kCheckpointVersion = 2;
+/**
+ * Current checkpoint container format version
+ * (2: header digest; 3: transition-based idle-run stats layout).
+ */
+inline constexpr std::uint32_t kCheckpointVersion = 3;
 
 /** File magic ("NRDC" little-endian). */
 inline constexpr std::uint32_t kCheckpointMagic = 0x4344524eu;

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Pool arena implementation.
+ */
+
+#include "common/arena.hh"
+
+#include <cstdio>
+
+namespace nord {
+
+PoolArena::~PoolArena()
+{
+    if (stats_.liveBlocks != 0) {
+        std::fprintf(stderr,
+                     "PoolArena: %llu block(s) / %llu byte(s) leaked at "
+                     "teardown\n",
+                     static_cast<unsigned long long>(stats_.liveBlocks),
+                     static_cast<unsigned long long>(stats_.liveBytes));
+    }
+    for (char *slab : slabs_)
+        ::operator delete(slab, std::align_val_t{kAlign});
+}
+
+PoolArena::Header *
+PoolArena::carve(std::uint32_t cls)
+{
+    const std::size_t need = kAlign + (cls + 1) * kAlign;  // header+payload
+    if (slabs_.empty() || slabCap_ - slabNext_ < need) {
+        std::size_t bytes = nextSlabBytes_;
+        if (bytes < need)
+            bytes = need;
+        slabs_.push_back(static_cast<char *>(
+            ::operator new(bytes, std::align_val_t{kAlign})));
+        slabNext_ = 0;
+        slabCap_ = bytes;
+        stats_.slabBytes += bytes;
+        if (nextSlabBytes_ < kMaxSlabBytes)
+            nextSlabBytes_ *= 2;
+    }
+    auto *h = reinterpret_cast<Header *>(slabs_.back() + slabNext_);
+    slabNext_ += need;
+    h->sizeClass = cls;
+    return h;
+}
+
+void *
+PoolArena::allocate(std::size_t bytes)
+{
+    ++stats_.allocCalls;
+    if (bytes == 0)
+        bytes = 1;
+    if (bytes > kMaxClassBytes) {
+        ++stats_.oversize;
+        ++stats_.liveBlocks;
+        stats_.liveBytes += bytes;
+        if (stats_.liveBytes > stats_.peakLiveBytes)
+            stats_.peakLiveBytes = stats_.liveBytes;
+        auto *h = static_cast<Header *>(
+            ::operator new(kAlign + bytes, std::align_val_t{kAlign}));
+        h->magic = kMagicLive;
+        h->sizeClass = kOversizeClass;
+        return reinterpret_cast<char *>(h) + kAlign;
+    }
+    const auto cls = static_cast<std::uint32_t>((bytes - 1) / kAlign);
+    Header *h = freeLists_[cls];
+    if (h != nullptr) {
+        NORD_ASSERT(h->magic == kMagicFree, "arena free list corrupted");
+        freeLists_[cls] = h->next;
+        ++stats_.reuses;
+    } else {
+        h = carve(cls);
+    }
+    h->magic = kMagicLive;
+    ++stats_.liveBlocks;
+    stats_.liveBytes += (cls + 1) * kAlign;
+    if (stats_.liveBytes > stats_.peakLiveBytes)
+        stats_.peakLiveBytes = stats_.liveBytes;
+    return reinterpret_cast<char *>(h) + kAlign;
+}
+
+void
+PoolArena::deallocate(void *p, std::size_t bytes)
+{
+    if (p == nullptr)
+        return;
+    auto *h = reinterpret_cast<Header *>(static_cast<char *>(p) - kAlign);
+    NORD_ASSERT(h->magic != kMagicFree, "arena double free");
+    NORD_ASSERT(h->magic == kMagicLive, "free of non-arena pointer");
+    ++stats_.frees;
+    --stats_.liveBlocks;
+    if (h->sizeClass == kOversizeClass) {
+        // Oversize blocks are not pooled; hand them straight back. The
+        // allocator contract passes the original size, which is what was
+        // accounted at allocation time.
+        stats_.liveBytes -= bytes;
+        h->magic = kMagicFree;
+        ::operator delete(h, std::align_val_t{kAlign});
+        return;
+    }
+    const std::uint32_t cls = h->sizeClass;
+    NORD_ASSERT(cls < kNumClasses, "arena header corrupted");
+    stats_.liveBytes -= (cls + 1) * kAlign;
+    h->magic = kMagicFree;
+    h->next = freeLists_[cls];
+    freeLists_[cls] = h;
+}
+
+}  // namespace nord

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Pool arena for flit/packet buffers.
+ *
+ * Replaces per-flit heap churn on the hottest simulation path (VC buffer
+ * and link-queue node allocation) with size-classed free lists carved out
+ * of geometrically growing slabs. Design points:
+ *
+ *  - 16-byte size classes up to kMaxClassBytes; anything larger falls back
+ *    to ::operator new (counted, so oversize traffic shows up in stats).
+ *  - Every block carries a 16-byte header with a live/free magic, so a
+ *    double free or a foreign pointer trips NORD_ASSERT instead of
+ *    corrupting a free list.
+ *  - Frees push onto the class free list; allocation pops before carving
+ *    new slab space, so steady-state simulation reaches a fixed footprint
+ *    and then recycles (Stats::reuses tracks this).
+ *  - checkTeardown() reports leaked blocks at end of life; the destructor
+ *    warns on stderr (src/common/ may use stdio) so a leak in a bench or
+ *    tool is loud even without the unit test.
+ *
+ * ArenaAllocator<T> adapts a PoolArena to the std allocator interface.
+ * A default-constructed (nullptr-arena) allocator degrades to plain
+ * ::operator new/delete, so the same container type serves both the
+ * arena and heap configurations -- bit-identical simulation either way,
+ * proven by tests/test_perf_invariance.cc.
+ */
+
+#ifndef NORD_COMMON_ARENA_HH
+#define NORD_COMMON_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <new>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace nord {
+
+/**
+ * Size-classed pool allocator with slab backing and free-list reuse.
+ * Not thread-safe: one arena belongs to one NocSystem (one kernel
+ * thread), like every other per-system object.
+ */
+class PoolArena
+{
+  public:
+    /** Allocation/footprint counters (diagnostics + test hooks). */
+    struct Stats
+    {
+        std::uint64_t allocCalls = 0;   ///< allocate() calls, any path
+        std::uint64_t frees = 0;        ///< deallocate() calls
+        std::uint64_t reuses = 0;       ///< allocations served from a free list
+        std::uint64_t oversize = 0;     ///< fell back to ::operator new
+        std::uint64_t liveBlocks = 0;   ///< currently outstanding blocks
+        std::uint64_t liveBytes = 0;    ///< payload bytes outstanding
+        std::uint64_t peakLiveBytes = 0;
+        std::uint64_t slabBytes = 0;    ///< total slab capacity acquired
+    };
+
+    PoolArena() = default;
+    ~PoolArena();
+
+    PoolArena(const PoolArena &) = delete;
+    PoolArena &operator=(const PoolArena &) = delete;
+
+    /** Allocate @p bytes with alignment <= kAlign. Never returns null. */
+    void *allocate(std::size_t bytes);
+
+    /** Return a block obtained from allocate(). Null is a no-op. */
+    void deallocate(void *p, std::size_t bytes);
+
+    const Stats &stats() const { return stats_; }
+
+    /**
+     * Teardown accounting: returns the number of leaked (still-live)
+     * blocks. Call when every container using the arena is gone; the
+     * destructor performs the same check and warns on stderr.
+     */
+    std::uint64_t checkTeardown() const { return stats_.liveBlocks; }
+
+    /** Block alignment guarantee (also the header size). */
+    static constexpr std::size_t kAlign = 16;
+
+    /** Largest pooled payload; bigger requests use ::operator new. */
+    static constexpr std::size_t kMaxClassBytes = 4096;
+
+  private:
+    struct Header
+    {
+        std::uint32_t magic;      ///< kMagicLive / kMagicFree
+        std::uint32_t sizeClass;  ///< class index, or kOversizeClass
+        Header *next;             ///< free-list link while free
+    };
+    static_assert(sizeof(Header) <= kAlign, "header must fit the alignment");
+
+    static constexpr std::uint32_t kMagicLive = 0x4c697645u;  // "LivE"
+    static constexpr std::uint32_t kMagicFree = 0x46726565u;  // "Free"
+    static constexpr std::uint32_t kOversizeClass = 0xffffffffu;
+
+    static constexpr std::size_t kNumClasses = kMaxClassBytes / kAlign;
+    static constexpr std::size_t kInitialSlabBytes = 16 * 1024;
+    static constexpr std::size_t kMaxSlabBytes = 1024 * 1024;
+
+    /** Carve a fresh block for @p cls from the current slab (grow it
+        geometrically when exhausted). */
+    Header *carve(std::uint32_t cls);
+
+    std::vector<char *> slabs_;          ///< owned slab storage
+    std::size_t slabNext_ = 0;           ///< bump offset in slabs_.back()
+    std::size_t slabCap_ = 0;            ///< capacity of slabs_.back()
+    std::size_t nextSlabBytes_ = kInitialSlabBytes;
+    Header *freeLists_[kNumClasses] = {};
+    Stats stats_;
+};
+
+/**
+ * std-compatible allocator over a PoolArena. With arena == nullptr it is
+ * a plain global-heap allocator: same type, same container layout, so a
+ * config toggle (NocConfig::perf.arena) switches backing stores without
+ * changing any simulation-visible behavior.
+ */
+template <typename T>
+class ArenaAllocator
+{
+  public:
+    using value_type = T;
+    static_assert(alignof(T) <= PoolArena::kAlign,
+                  "arena alignment too small for T");
+
+    ArenaAllocator() noexcept = default;
+    explicit ArenaAllocator(PoolArena *arena) noexcept : arena_(arena) {}
+
+    template <typename U>
+    ArenaAllocator(const ArenaAllocator<U> &other) noexcept
+        : arena_(other.arena())
+    {
+    }
+
+    T *allocate(std::size_t n)
+    {
+        const std::size_t bytes = n * sizeof(T);
+        if (arena_ != nullptr)
+            return static_cast<T *>(arena_->allocate(bytes));
+        return static_cast<T *>(::operator new(bytes));
+    }
+
+    void deallocate(T *p, std::size_t n) noexcept
+    {
+        if (arena_ != nullptr) {
+            arena_->deallocate(p, n * sizeof(T));
+            return;
+        }
+        ::operator delete(p);
+    }
+
+    PoolArena *arena() const noexcept { return arena_; }
+
+    friend bool operator==(const ArenaAllocator &a,
+                           const ArenaAllocator &b) noexcept
+    {
+        return a.arena_ == b.arena_;
+    }
+    friend bool operator!=(const ArenaAllocator &a,
+                           const ArenaAllocator &b) noexcept
+    {
+        return !(a == b);
+    }
+
+  private:
+    PoolArena *arena_ = nullptr;
+};
+
+/** Deque whose nodes come from a PoolArena (or the heap when detached). */
+template <typename T>
+using ArenaDeque = std::deque<T, ArenaAllocator<T>>;
+
+}  // namespace nord
+
+#endif  // NORD_COMMON_ARENA_HH

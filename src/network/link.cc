@@ -12,8 +12,8 @@
 
 namespace nord {
 
-FlitLink::FlitLink(Router *dst, Direction inPort)
-    : dst_(dst), inPort_(inPort)
+FlitLink::FlitLink(Router *dst, Direction inPort, PoolArena *arena)
+    : dst_(dst), inPort_(inPort), queue_(ArenaAllocator<Entry>(arena))
 {
     NORD_ASSERT(dst != nullptr, "flit link without a sink");
 }
@@ -29,6 +29,7 @@ FlitLink::push(const Flit &flit, Cycle due)
         due = queue_.back().due + 1;
     queue_.push_back({flit, due});
     ++traversals_;
+    kernelWake();
 }
 
 void
@@ -109,8 +110,8 @@ FlitLink::name() const
     return "flink->" + std::to_string(dst_->id()) + dirName(inPort_);
 }
 
-CreditLink::CreditLink(Router *dst, Direction outPort)
-    : dst_(dst), outPort_(outPort)
+CreditLink::CreditLink(Router *dst, Direction outPort, PoolArena *arena)
+    : dst_(dst), outPort_(outPort), queue_(ArenaAllocator<Entry>(arena))
 {
     NORD_ASSERT(dst != nullptr, "credit link without a sink");
 }
@@ -122,6 +123,7 @@ CreditLink::push(VcId vc, Cycle due)
     NORD_ASSERT(queue_.empty() || queue_.back().due <= due,
                 "credit link reordering");
     queue_.push_back({vc, due});
+    kernelWake();
 }
 
 void

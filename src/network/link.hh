@@ -12,10 +12,10 @@
 #ifndef NORD_NETWORK_LINK_HH
 #define NORD_NETWORK_LINK_HH
 
-#include <deque>
 #include <functional>
 #include <string>
 
+#include "common/arena.hh"
 #include "common/flit.hh"
 #include "common/types.hh"
 #include "sim/clocked.hh"
@@ -35,14 +35,20 @@ class FlitLink : public Clocked
     /**
      * @param dst downstream router
      * @param inPort input port of @p dst this link feeds
+     * @param arena optional pool for the in-flight queue (null = heap)
      */
-    FlitLink(Router *dst, Direction inPort);
+    FlitLink(Router *dst, Direction inPort, PoolArena *arena = nullptr);
 
-    /** Schedule @p flit for delivery at cycle @p due. */
+    /** Schedule @p flit for delivery at cycle @p due (wakes the link). */
     void push(const Flit &flit, Cycle due);
 
     /** Deliver all due flits into the downstream router. */
     void tick(Cycle now) override;
+
+    /** An empty delay line has nothing to deliver. */
+    bool quiescent() const override { return queue_.empty(); }
+
+    const char *kindName() const override { return "link"; }
 
     /** True when no flit is in flight. */
     bool empty() const { return queue_.empty(); }
@@ -105,7 +111,7 @@ class FlitLink : public Clocked
 
     Router *dst_;
     Direction inPort_;
-    std::deque<Entry> queue_;
+    ArenaDeque<Entry> queue_;
     std::uint64_t traversals_ = 0;
 };
 
@@ -119,14 +125,20 @@ class CreditLink : public Clocked
     /**
      * @param dst upstream router receiving the credits
      * @param outPort output port of @p dst the credits replenish
+     * @param arena optional pool for the in-flight queue (null = heap)
      */
-    CreditLink(Router *dst, Direction outPort);
+    CreditLink(Router *dst, Direction outPort, PoolArena *arena = nullptr);
 
-    /** Schedule a credit for VC @p vc at cycle @p due. */
+    /** Schedule a credit for VC @p vc at cycle @p due (wakes the link). */
     void push(VcId vc, Cycle due);
 
     /** Deliver all due credits to the upstream router. */
     void tick(Cycle now) override;
+
+    /** An empty delay line has nothing to deliver. */
+    bool quiescent() const override { return queue_.empty(); }
+
+    const char *kindName() const override { return "link"; }
 
     /** True when no credit is in flight. */
     bool empty() const { return queue_.empty(); }
@@ -158,7 +170,7 @@ class CreditLink : public Clocked
 
     Router *dst_;
     Direction outPort_;
-    std::deque<Entry> queue_;
+    ArenaDeque<Entry> queue_;
 };
 
 }  // namespace nord

@@ -34,10 +34,23 @@ NocSystem::NocSystem(const NocConfig &config)
         injector_ = std::make_unique<FaultInjector>(*this, config_);
         injector_->setAuditor(auditor_.get());
     }
-    if (auditor_->enabled() && config_.verify.sweepOnTransition) {
-        for (auto &c : controllers_) {
-            c->setTransitionListener(
-                [this](Cycle now, PowerState from, PowerState to) {
+    // Every power transition re-arms the transitioning router and its
+    // mesh neighbors in the kernel's active list (their next tick adjusts
+    // credit views / restarts heads -- see Router::quiescent), and, when
+    // the auditor sweeps on transitions, fires that sweep.
+    const bool sweep =
+        auditor_->enabled() && config_.verify.sweepOnTransition;
+    for (NodeId id = 0; id < config_.numNodes(); ++id) {
+        Router *r = routers_[id].get();
+        controllers_[id]->setTransitionListener(
+            [this, r, sweep](Cycle now, PowerState from, PowerState to) {
+                r->kernelWake();
+                for (int d = 0; d < kNumMeshDirs; ++d) {
+                    const NodeId nb = mesh_.neighbor(r->id(), indexDir(d));
+                    if (nb != kInvalidNode)
+                        routers_[nb]->kernelWake();
+                }
+                if (sweep) {
                     // A transition-triggered sweep reads (and under
                     // kRecover repairs) arbitrary components; attribute
                     // those accesses to the wildcard auditor, not to the
@@ -45,9 +58,10 @@ NocSystem::NocSystem(const NocConfig &config)
                     access::onWrite(auditor_.get(), ChannelKind::kAudit);
                     access::Handoff handoff(auditor_.get());
                     auditor_->onPowerTransition(now, from, to);
-                });
-        }
+                }
+            });
     }
+    kernel_.setSkipEnabled(config_.perf.skipIdle);
     if (config_.verify.trackAccess) {
         accessTracker_ = std::make_unique<AccessTracker>();
         kernel_.setAccessTracker(accessTracker_.get());
@@ -96,10 +110,10 @@ NocSystem::buildRouters()
     routers_.reserve(n);
     nis_.reserve(n);
     for (NodeId id = 0; id < n; ++id) {
-        routers_.push_back(std::make_unique<Router>(id, config_, mesh_,
-                                                    ring_, stats_));
-        nis_.push_back(std::make_unique<NetworkInterface>(id, config_,
-                                                          stats_));
+        routers_.push_back(std::make_unique<Router>(
+            id, config_, mesh_, ring_, stats_, perfArena()));
+        nis_.push_back(std::make_unique<NetworkInterface>(
+            id, config_, stats_, perfArena()));
     }
     for (NodeId id = 0; id < n; ++id) {
         routers_[id]->setNi(nis_[id].get());
@@ -133,10 +147,10 @@ NocSystem::buildLinks()
                 continue;
             // Flit link: router id, output dir -> router nb, input port
             // opposite(dir). Credit link: flows back to id's output dir.
-            auto flink = std::make_unique<FlitLink>(routers_[nb].get(),
-                                                    opposite(dir));
-            auto clink = std::make_unique<CreditLink>(routers_[id].get(),
-                                                      dir);
+            auto flink = std::make_unique<FlitLink>(
+                routers_[nb].get(), opposite(dir), perfArena());
+            auto clink = std::make_unique<CreditLink>(
+                routers_[id].get(), dir, perfArena());
             routers_[id]->connectOutput(dir, routers_[nb].get(),
                                         flink.get());
             routers_[nb]->connectInput(opposite(dir), flink.get());
@@ -546,6 +560,7 @@ NocSystem::loadCheckpoint(const std::string &path,
     auto rollback = [this, &snap]() {
         StateSerializer undo(snap.takeBuffer());
         serializeState(undo);
+        kernel_.wakeAll();
     };
     StateSerializer s(std::move(payload));
     serializeState(s);
@@ -570,6 +585,10 @@ NocSystem::loadCheckpoint(const std::string &path,
     }
     if (user)
         *user = meta.user;
+    // The restored state may hold work for components the skip list had
+    // retired (or vice versa): re-arm everything, exactly like a freshly
+    // built system. No-op ticks keep bit-identity.
+    kernel_.wakeAll();
     return true;
 }
 

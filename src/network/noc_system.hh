@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.hh"
 #include "common/types.hh"
 #include "fault/fault_injector.hh"
 #include "network/link.hh"
@@ -89,6 +90,14 @@ class NocSystem
 
     /** Current simulation cycle. */
     Cycle now() const { return kernel_.now(); }
+
+    /** The driving kernel (perf counters, skip toggles, wakeAll). */
+    SimKernel &kernel() { return kernel_; }
+    const SimKernel &kernel() const { return kernel_; }
+
+    /** Flit/packet pool (allocation stats; used even when perf.arena is
+     *  off, in which case it simply stays empty). */
+    const PoolArena &arena() const { return arena_; }
 
     /** Inject one packet from @p src to @p dst (used by workloads). */
     void inject(NodeId src, NodeId dst, int length, std::uint64_t tag = 0);
@@ -240,7 +249,16 @@ class NocSystem
     void buildControllers();
     void registerAll();
 
+    /** Pool handed to component constructors: null = heap mode. */
+    PoolArena *perfArena()
+    {
+        return config_.perf.arena ? &arena_ : nullptr;
+    }
+
     NocConfig config_;
+    // Declared right after config_ so it outlives (is destroyed after)
+    // every container that allocates from it.
+    PoolArena arena_;
     MeshTopology mesh_;
     BypassRing ring_;
     NetworkStats stats_;

@@ -15,11 +15,15 @@
 namespace nord {
 
 NetworkInterface::NetworkInterface(NodeId id, const NocConfig &config,
-                                   NetworkStats &stats)
+                                   NetworkStats &stats, PoolArena *arena)
     : id_(id), config_(config), stats_(stats), counters_(stats.router(id)),
+      injectQ_(ArenaAllocator<Flit>(arena)),
       localCredits_(static_cast<size_t>(config.numVcs), config.bufferDepth),
-      latch_(static_cast<size_t>(config.numVcs)),
-      fwd_(static_cast<size_t>(config.numVcs))
+      ejectQ_(ArenaAllocator<std::pair<Flit, Cycle>>(arena)),
+      latch_(static_cast<size_t>(config.numVcs),
+             ArenaDeque<LatchEntry>(ArenaAllocator<LatchEntry>(arena))),
+      fwd_(static_cast<size_t>(config.numVcs)),
+      stage3_(ArenaAllocator<StagedFlit>(arena))
 {
     if (config.fault.e2e)
         e2e_ = std::make_unique<E2eEndpoint>(id, config, stats);
@@ -649,12 +653,22 @@ NetworkInterface::serializeState(StateSerializer &s)
         s.io(e.second);
     });
     s.io(packetsReceived_);
-    s.ioSequence(latch_, [&s](std::deque<LatchEntry> &slot) {
+    // The latch has one slot per VC, fixed at construction; serializing
+    // slot-by-slot in place (instead of the generic clear-and-refill
+    // ioSequence) keeps each deque's arena allocator across a load.
+    std::uint64_t latchSlots = latch_.size();
+    s.io(latchSlots);
+    if (s.loading() && latchSlots != latch_.size()) {
+        s.fail("checkpoint latch slot count mismatch at NI " +
+               std::to_string(id_));
+        return;
+    }
+    for (auto &slot : latch_) {
         s.ioSequence(slot, [&s](LatchEntry &e) {
             s.io(e.flit);
             s.io(e.allocReady);
         });
-    });
+    }
     s.ioSequence(fwd_, [&s](ForwardState &f) {
         s.io(f.active);
         s.io(f.sink);

@@ -31,6 +31,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/arena.hh"
 #include "common/flit.hh"
 #include "common/types.hh"
 #include "fault/e2e_protocol.hh"
@@ -53,8 +54,9 @@ class NetworkInterface : public Clocked
     /** Callback invoked when a packet's tail flit reaches the node. */
     using DeliveryCallback = std::function<void(const Flit &, Cycle)>;
 
+    /** @p arena optionally backs the flit queues (null = heap). */
     NetworkInterface(NodeId id, const NocConfig &config,
-                     NetworkStats &stats);
+                     NetworkStats &stats, PoolArena *arena = nullptr);
 
     void setRouter(Router *router) { router_ = router; }
     void setPolicy(const RoutingPolicy *policy) { policy_ = policy; }
@@ -64,6 +66,14 @@ class NetworkInterface : public Clocked
     std::string name() const override;
 
     void tick(Cycle now) override;
+
+    /**
+     * NIs are never skipped: vcRequestsThisCycle() is a per-cycle signal
+     * the NordController samples, and the E2E endpoint runs retransmit
+     * timers. Clocked's default (never quiescent) stands; this kindName
+     * is for perf attribution only.
+     */
+    const char *kindName() const override { return "ni"; }
 
     // --- Node-facing interface --------------------------------------------
     /** Packetize and queue a new packet for injection. */
@@ -241,18 +251,18 @@ class NetworkInterface : public Clocked
     DeliveryCallback onDelivery_;
 
     // Injection.
-    std::deque<Flit> injectQ_;
+    ArenaDeque<Flit> injectQ_;
     std::vector<int> localCredits_;   ///< router local-port buffer credits
     VcId injectVc_ = kInvalidVc;      ///< VC of the packet being injected
 
     // Ejection.
-    std::deque<std::pair<Flit, Cycle>> ejectQ_;
+    ArenaDeque<std::pair<Flit, Cycle>> ejectQ_;
     std::uint64_t packetsReceived_ = 0;
 
     // Bypass.
-    std::vector<std::deque<LatchEntry>> latch_;  ///< one slot per VC
+    std::vector<ArenaDeque<LatchEntry>> latch_;  ///< one slot per VC
     std::vector<ForwardState> fwd_;              ///< per latch slot
-    std::deque<StagedFlit> stage3_;
+    ArenaDeque<StagedFlit> stage3_;
     std::unordered_set<std::uint64_t> claimed_;  ///< live bypass flows
     bool localBypassActive_ = false;  ///< local packet mid-bypass
     VcId localBypassVc_ = kInvalidVc; ///< outVc held by that packet

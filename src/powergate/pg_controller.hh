@@ -112,6 +112,9 @@ class PgController : public Clocked
 
     std::string name() const override;
 
+    /** Controllers are always-on hardware: never skipped. */
+    const char *kindName() const override { return "controller"; }
+
     /**
      * Checkpoint hook: the power FSM and wakeup bookkeeping. Subclasses
      * with policy state (NordController's sliding window) extend it.

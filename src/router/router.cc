@@ -16,12 +16,14 @@
 namespace nord {
 
 Router::Router(NodeId id, const NocConfig &config, const MeshTopology &mesh,
-               const BypassRing &ring, NetworkStats &stats)
+               const BypassRing &ring, NetworkStats &stats, PoolArena *arena)
     : id_(id), config_(config), mesh_(mesh), ring_(ring), stats_(stats),
       counters_(stats.router(id))
 {
+    const ArenaAllocator<Flit> alloc(arena);
     for (auto &ip : inputs_)
-        ip.vcs.resize(static_cast<size_t>(config_.numVcs));
+        ip.vcs.assign(static_cast<size_t>(config_.numVcs),
+                      VirtualChannel(alloc));
     for (auto &op : outputs_) {
         op.credits.assign(static_cast<size_t>(config_.numVcs),
                           config_.bufferDepth);
@@ -235,6 +237,8 @@ Router::acceptFlit(Direction inPort, const Flit &arrived, Cycle now)
 {
     access::onWrite(this, ChannelKind::kFlitDeliver);
     access::Handoff handoff(this);
+    kernelWake();
+    emptyAfterTick_ = false;
     Flit flit = arrived;
     recordVisit(flit, id_);
 
@@ -297,6 +301,8 @@ Router::enqueueLocal(const Flit &flit, Cycle)
 {
     access::onWrite(this, ChannelKind::kLocalInject);
     access::Handoff handoff(this);
+    kernelWake();
+    emptyAfterTick_ = false;
     NORD_ASSERT(powerState() == PowerState::kOn,
                 "NI injected into gated router %d", id_);
     InputPort &ip = inputs_[dirIndex(Direction::kLocal)];
@@ -867,6 +873,24 @@ Router::checkQuiescent() const
     }
 }
 
+bool
+Router::quiescent() const
+{
+    if (!emptyAfterTick_)
+        return false;
+    // A stale neighbor power view means the next tick does real work
+    // (credit-view adjustment, head restarts) -- stay on the active list
+    // until observeNeighborPower has caught up.
+    for (int d = 0; d < kNumMeshDirs; ++d) {
+        const OutputPort &op = outputs_[d];
+        if (op.neighbor != nullptr &&
+            op.gatedView != op.neighbor->pgAsserted()) {
+            return false;
+        }
+    }
+    return true;
+}
+
 void
 Router::tick(Cycle now)
 {
@@ -880,7 +904,9 @@ Router::tick(Cycle now)
                     "router %d has buffered flits while %s", id_,
                     powerStateName(powerState()));
     }
-    stats_.routerIdleSample(id_, datapathEmpty(), now);
+    const bool empty = datapathEmpty();
+    stats_.routerIdleSample(id_, empty, now);
+    emptyAfterTick_ = empty;
 }
 
 }  // namespace nord

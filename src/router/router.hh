@@ -25,12 +25,12 @@
 
 #include <array>
 #include <cstdio>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/arena.hh"
 #include "common/flit.hh"
 #include "common/types.hh"
 #include "network/link.hh"
@@ -73,8 +73,13 @@ class Router : public Clocked
         bool frontIsHead = false;     ///< front buffered flit is a head
     };
 
+    /**
+     * @param arena optional pool backing the VC buffers (null = heap);
+     *        semantics are identical either way.
+     */
     Router(NodeId id, const NocConfig &config, const MeshTopology &mesh,
-           const BypassRing &ring, NetworkStats &stats);
+           const BypassRing &ring, NetworkStats &stats,
+           PoolArena *arena = nullptr);
 
     Router(const Router &) = delete;
     Router &operator=(const Router &) = delete;
@@ -104,6 +109,18 @@ class Router : public Clocked
 
     // --- Simulation ---------------------------------------------------------
     void tick(Cycle now) override;
+
+    /**
+     * Idle-skipping predicate: an empty datapath whose cached neighbor
+     * power views are in sync has a provably no-op tick (SA/VA/RC all
+     * skip empty VCs and the round-robin pointers only advance on
+     * grants). Any event that could give this router work wakes it:
+     * flit arrival, local injection, and power transitions of itself or
+     * a mesh neighbor (wired in NocSystem).
+     */
+    bool quiescent() const override;
+
+    const char *kindName() const override { return "router"; }
 
     // --- Link-facing interface ----------------------------------------------
     /**
@@ -302,7 +319,12 @@ class Router : public Clocked
     /** Per-VC state machine. */
     struct VirtualChannel
     {
-        std::deque<Flit> buffer;
+        explicit VirtualChannel(const ArenaAllocator<Flit> &a = {})
+            : buffer(a)
+        {
+        }
+
+        ArenaDeque<Flit> buffer;
         VcState state = VcState::kIdle;
         Direction outPort = Direction::kLocal;
         VcId outVc = kInvalidVc;
@@ -382,6 +404,15 @@ class Router : public Clocked
 
     std::array<InputPort, kNumPorts> inputs_;
     std::array<OutputPort, kNumPorts> outputs_;
+
+    /**
+     * datapathEmpty() as computed by the last tick, invalidated (set
+     * false) by every flit arrival. Lets quiescent() -- which the kernel
+     * consults right after each tick -- reuse the scan the idle-stats
+     * sample already paid for. Not serialized: loadCheckpoint wakes all
+     * components, so the next tick recomputes it before it is consulted.
+     */
+    bool emptyAfterTick_ = false;
 };
 
 }  // namespace nord

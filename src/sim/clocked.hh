@@ -6,6 +6,7 @@
 #ifndef NORD_SIM_CLOCKED_HH
 #define NORD_SIM_CLOCKED_HH
 
+#include <cstddef>
 #include <string>
 
 #include "common/types.hh"
@@ -13,6 +14,7 @@
 namespace nord {
 
 class OwnershipDeclarator;
+class SimKernel;
 
 /**
  * A component evaluated once per cycle.
@@ -42,6 +44,41 @@ class Clocked
      * audit.
      */
     virtual void declareOwnership(OwnershipDeclarator &) const {}
+
+    /**
+     * True when ticking this component right now would be a provable
+     * no-op: no buffered work, no pending protocol obligations, nothing
+     * that advances on an empty cycle. A quiescent component may be
+     * dropped from the kernel's active list after a tick; any external
+     * event that could give it work again MUST call kernelWake() (the
+     * producers do: links wake on push, routers wake on flit/local
+     * injection, power transitions wake the router and its neighbors).
+     * The default is "never quiescent" so components that predate the
+     * skip list keep their per-cycle tick unchanged.
+     */
+    virtual bool quiescent() const { return false; }
+
+    /**
+     * Coarse component kind for per-subsystem perf attribution
+     * ("router", "ni", "link", "controller", "other").
+     */
+    virtual const char *kindName() const { return "other"; }
+
+    /**
+     * Re-arm this component in its kernel's active list. Safe to call at
+     * any time (including mid-cycle from another component's tick, and on
+     * a component never registered with a kernel); idempotent when
+     * already active. Defined in kernel.cc.
+     */
+    void kernelWake();
+
+  private:
+    friend class SimKernel;
+
+    // Back-pointer + slot bound by SimKernel::add(); not serialized
+    // (re-established on construction, identical across save/load).
+    SimKernel *kernel_ = nullptr;
+    std::size_t kernelSlot_ = 0;
 };
 
 }  // namespace nord

@@ -6,6 +6,7 @@
 #ifndef NORD_SIM_KERNEL_HH
 #define NORD_SIM_KERNEL_HH
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -20,6 +21,17 @@ class StateSerializer;
 /**
  * Drives all registered Clocked objects, one pass per cycle, in
  * registration order. Does not own the objects.
+ *
+ * Idle skipping: the kernel keeps a sorted active list of component
+ * slots. After ticking a component that reports quiescent(), the slot is
+ * dropped from the list; subsequent cycles cost O(1) for it. Producers
+ * re-arm consumers via Clocked::kernelWake(), which tolerates calls in
+ * the middle of the current pass: a wake for a slot at or before the
+ * cursor lands next cycle (a serial tick this cycle would have been a
+ * no-op -- the component was quiescent before the event), a wake for a
+ * later slot is ticked this same cycle, exactly as the serial kernel
+ * would. Skipping is disabled while an AccessTracker is attached so the
+ * ownership audit always sees the full per-cycle walk.
  */
 class SimKernel
 {
@@ -57,15 +69,54 @@ class SimKernel
     /** Number of registered components. */
     size_t numComponents() const { return objects_.size(); }
 
+    /**
+     * Enable/disable idle-component skipping. Disabling (or enabling)
+     * re-activates everything so no pending work is stranded. Skipping
+     * is further suppressed while an AccessTracker is attached.
+     */
+    void setSkipEnabled(bool enabled);
+    bool skipEnabled() const { return skipEnabled_; }
+
+    /** Re-activate every registered component (e.g. after a restore). */
+    void wakeAll();
+
+    /** True if @p obj is currently on the active list. */
+    bool isActive(const Clocked *obj) const;
+
+    // Perf counters (diagnostics only -- deliberately NOT serialized, so
+    // skip-on and skip-off kernels stay bit-identical under stateHash()).
+    std::uint64_t tickedLastCycle() const { return tickedLast_; }
+    std::uint64_t skippedLastCycle() const { return skippedLast_; }
+    std::uint64_t tickedTotal() const { return tickedTotal_; }
+    std::uint64_t skippedTotal() const { return skippedTotal_; }
+
     /** Checkpoint hook: the clock is the kernel's only state. */
     void serializeState(StateSerializer &s);
 
   private:
+    friend class Clocked;
+
     void stepOne();
+    void wake(std::size_t slot);
+    bool skippingNow() const { return skipEnabled_ && tracker_ == nullptr; }
 
     std::vector<Clocked *> objects_;
     AccessTracker *tracker_ = nullptr;
     Cycle now_ = 0;
+
+    // Active list: sorted slot indices + per-slot flags. cursor_ indexes
+    // activeIdx_ during stepOne so mid-pass wakes can keep iteration
+    // valid (an insert at or before the cursor bumps it).
+    std::vector<std::size_t> activeIdx_;
+    std::vector<std::uint8_t> active_;
+    std::size_t cursor_ = 0;
+    bool inTick_ = false;
+    bool skipEnabled_ = true;
+
+    std::uint64_t tickedLast_ = 0;
+    std::uint64_t skippedLast_ = 0;
+    std::uint64_t tickedTotal_ = 0;
+    std::uint64_t skippedTotal_ = 0;
 };
 
 }  // namespace nord

@@ -65,7 +65,8 @@ constexpr size_t kLatencyBuckets = 8192;
 NetworkStats::NetworkStats(int numRouters, Cycle warmup)
     : routers_(numRouters),
       idleHists_(numRouters),
-      idleStart_(numRouters, kNeverCycle),
+      runEmpty_(numRouters, 0),
+      runStart_(numRouters, kNeverCycle),
       warmup_(warmup),
       latencyHist_(kLatencyBuckets + 1, 0)
 {
@@ -183,28 +184,44 @@ NetworkStats::flitEjected(Cycle)
 void
 NetworkStats::routerIdleSample(NodeId id, bool empty, Cycle now)
 {
-    ActivityCounters &c = routers_[id];
-    if (empty) {
-        ++c.emptyCycles;
-        if (idleStart_[id] == kNeverCycle)
-            idleStart_[id] = now;
-    } else {
-        ++c.busyCycles;
-        if (idleStart_[id] != kNeverCycle) {
-            idleHists_[id].record(now - idleStart_[id]);
-            idleStart_[id] = kNeverCycle;
-        }
+    if (runStart_[id] == kNeverCycle) {
+        // First sample ever: open a run.
+        runStart_[id] = now;
+        runEmpty_[id] = empty ? 1 : 0;
+        return;
     }
+    if ((runEmpty_[id] != 0) == empty)
+        return;  // same mode -- exactly the no-op a skipped cycle gets
+    // Mode change: close the run [runStart_, now) and open a new one.
+    const Cycle len = now - runStart_[id];
+    ActivityCounters &c = routers_[id];
+    if (runEmpty_[id] != 0) {
+        c.emptyCycles += len;
+        idleHists_[id].record(len);
+    } else {
+        c.busyCycles += len;
+    }
+    runStart_[id] = now;
+    runEmpty_[id] = empty ? 1 : 0;
 }
 
 void
 NetworkStats::finalize(Cycle now)
 {
     for (NodeId id = 0; id < numRouters(); ++id) {
-        if (idleStart_[id] != kNeverCycle) {
-            idleHists_[id].record(now - idleStart_[id]);
-            idleStart_[id] = kNeverCycle;
+        if (runStart_[id] == kNeverCycle || now <= runStart_[id])
+            continue;
+        const Cycle len = now - runStart_[id];
+        ActivityCounters &c = routers_[id];
+        if (runEmpty_[id] != 0) {
+            c.emptyCycles += len;
+            idleHists_[id].record(len);
+        } else {
+            c.busyCycles += len;
         }
+        // Keep the mode, restart the run at `now`: finalize is
+        // idempotent and a resumed simulation keeps accounting.
+        runStart_[id] = now;
     }
 }
 
@@ -334,7 +351,8 @@ NetworkStats::serializeState(StateSerializer &s)
                  [&s](ActivityCounters &c) { serializeCounters(s, c); });
     s.ioSequence(idleHists_,
                  [&s](IdlePeriodHistogram &h) { h.serializeState(s); });
-    s.ioSequence(idleStart_);
+    s.ioSequence(runEmpty_);
+    s.ioSequence(runStart_);
     s.io(packetsCreated_);
     s.io(packetsDelivered_);
     s.io(packetsFailed_);

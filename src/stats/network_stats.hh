@@ -170,10 +170,19 @@ class NetworkStats
     ActivityCounters &router(NodeId id) { return routers_[id]; }
     const ActivityCounters &router(NodeId id) const { return routers_[id]; }
 
-    /** One cycle of router datapath emptiness / busyness. */
+    /**
+     * Router @p id observed its datapath empty (or not) at cycle @p now.
+     *
+     * Accounting is transition-based: a sample in the same mode as the
+     * open run is a state no-op, so a router that skips cycles while
+     * quiescent (sim/kernel.hh idle skipping) produces bit-identical
+     * stats to one sampling every cycle. Runs are closed (length added
+     * to emptyCycles/busyCycles, idle runs recorded in the histogram)
+     * only on a mode change or at finalize().
+     */
     void routerIdleSample(NodeId id, bool empty, Cycle now);
 
-    /** Flush open idle periods into the histograms at end of simulation. */
+    /** Close open empty/busy runs at end of simulation (idempotent). */
     void finalize(Cycle now);
 
     // --- Results ------------------------------------------------------------
@@ -237,7 +246,10 @@ class NetworkStats
   private:
     std::vector<ActivityCounters> routers_;
     std::vector<IdlePeriodHistogram> idleHists_;
-    std::vector<Cycle> idleStart_;   ///< kNeverCycle when busy
+    // Open empty/busy run per router: mode flag + start cycle
+    // (kNeverCycle = no run opened yet).
+    std::vector<std::uint8_t> runEmpty_;
+    std::vector<Cycle> runStart_;
 
     Cycle warmup_;
     std::uint64_t packetsCreated_ = 0;

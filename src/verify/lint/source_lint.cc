@@ -283,6 +283,53 @@ checkEnvReads(const std::string &path, const std::string &original,
 }
 
 void
+checkFlitHeap(const std::string &path, const std::string &original,
+              const std::string &stripped, const Scope &scope,
+              std::vector<LintFinding> &out)
+{
+    // Per-flit heap churn is the hot-path cost the pool arena
+    // (src/common/arena.hh) exists to eliminate: flit/packet storage in
+    // the simulator belongs in arena-backed containers, never in direct
+    // new-expressions. The arena itself and code outside src/ (tests,
+    // benches, tools) are exempt.
+    if (!scope.underSrc ||
+        path.find("src/common/arena.") != std::string::npos) {
+        return;
+    }
+    static const struct
+    {
+        const char *word;
+        size_t len;
+    } kTypes[] = {{"Flit", 4}, {"PacketDescriptor", 16}};
+    for (size_t i = stripped.find("new"); i != std::string::npos;
+         i = stripped.find("new", i + 3)) {
+        if (!isWordAt(stripped, i, "new", 3))
+            continue;
+        size_t j = i + 3;
+        while (j < stripped.size() &&
+               (stripped[j] == ' ' || stripped[j] == '\t' ||
+                stripped[j] == '\n')) {
+            ++j;
+        }
+        for (const auto &t : kTypes) {
+            if (stripped.compare(j, t.len, t.word) != 0 ||
+                !isWordAt(stripped, j, t.word, t.len)) {
+                continue;
+            }
+            const int line = lineOf(stripped, i);
+            if (allowedAt(original, line, "flit-heap", nullptr))
+                continue;
+            out.push_back(
+                {path, line, "flit-heap",
+                 std::string("new ") + t.word +
+                     ": direct heap allocation of flit/packet storage "
+                     "bypasses the pool arena (use an arena-backed "
+                     "container, see src/common/arena.hh)"});
+        }
+    }
+}
+
+void
 checkStdio(const std::string &path, const std::string &original,
            const std::string &stripped, const Scope &scope,
            std::vector<LintFinding> &out)
@@ -679,6 +726,7 @@ lintSource(const std::string &path, const std::string &content,
     const std::string stripped = stripCode(content);
     checkStatics(path, content, stripped, scope, whitelist, out);
     checkEnvReads(path, content, stripped, scope, out);
+    checkFlitHeap(path, content, stripped, scope, out);
     checkStdio(path, content, stripped, scope, out);
     checkDeterminism(path, content, stripped, scope, out);
     checkUncheckedIo(path, content, stripped, scope, out);

@@ -23,6 +23,10 @@
  *    time() anywhere in src/tools/bench/examples/tests except the
  *    seeded generator src/common/rng.* (absorbed from the retired
  *    scripts/determinism_lint.sh);
+ *  - flit-heap: a direct new-expression of Flit or PacketDescriptor in
+ *    src/ outside the arena itself (src/common/arena.*) -- flit/packet
+ *    storage goes through arena-backed containers so the hot path never
+ *    pays per-flit heap churn;
  *  - unchecked-io: fwrite/fflush/fsync/rename called as a bare statement
  *    (result discarded) in the durability layers src/ckpt/ and
  *    src/campaign/ -- an ignored I/O result there is how a "durable"

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * PoolArena / ArenaAllocator unit tests: reuse after free, double-free
+ * detection, alignment, exhaustion growth, and teardown leak accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/arena.hh"
+#include "common/flit.hh"
+
+namespace nord {
+namespace {
+
+TEST(Arena, ReuseAfterFree)
+{
+    PoolArena arena;
+    void *a = arena.allocate(48);
+    arena.deallocate(a, 48);
+    // Same size class -> the freed block is recycled, not fresh slab.
+    void *b = arena.allocate(40);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(arena.stats().reuses, 1u);
+    arena.deallocate(b, 40);
+    EXPECT_EQ(arena.stats().liveBlocks, 0u);
+    EXPECT_EQ(arena.checkTeardown(), 0u);
+}
+
+TEST(Arena, DistinctLiveBlocksDontAlias)
+{
+    PoolArena arena;
+    std::vector<void *> blocks;
+    for (int i = 0; i < 256; ++i)
+        blocks.push_back(arena.allocate(64));
+    for (size_t i = 0; i < blocks.size(); ++i) {
+        for (size_t j = i + 1; j < blocks.size(); ++j)
+            ASSERT_NE(blocks[i], blocks[j]);
+    }
+    for (void *p : blocks)
+        arena.deallocate(p, 64);
+    EXPECT_EQ(arena.stats().liveBlocks, 0u);
+}
+
+TEST(Arena, DoubleFreeTrips)
+{
+    PoolArena arena;
+    void *p = arena.allocate(32);
+    arena.deallocate(p, 32);
+    EXPECT_DEATH(arena.deallocate(p, 32), "double free");
+}
+
+TEST(Arena, ForeignPointerTrips)
+{
+    PoolArena arena;
+    alignas(PoolArena::kAlign) char fake[64] = {};
+    EXPECT_DEATH(arena.deallocate(fake + PoolArena::kAlign, 16),
+                 "non-arena");
+}
+
+TEST(Arena, Alignment)
+{
+    PoolArena arena;
+    for (std::size_t sz : {1u, 7u, 16u, 33u, 100u, 4096u, 8192u}) {
+        void *p = arena.allocate(sz);
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) %
+                      PoolArena::kAlign,
+                  0u)
+            << "size " << sz;
+        arena.deallocate(p, sz);
+    }
+}
+
+TEST(Arena, ExhaustionGrowsSlabs)
+{
+    PoolArena arena;
+    // Far more than the first slab (16 KiB) holds: growth path must kick
+    // in, and every block must still be usable.
+    std::vector<void *> blocks;
+    constexpr int kCount = 10000;
+    constexpr std::size_t kSz = 128;
+    for (int i = 0; i < kCount; ++i) {
+        void *p = arena.allocate(kSz);
+        *static_cast<int *>(p) = i;
+        blocks.push_back(p);
+    }
+    EXPECT_GT(arena.stats().slabBytes, 16u * 1024u);
+    for (int i = 0; i < kCount; ++i)
+        EXPECT_EQ(*static_cast<int *>(blocks[i]), i);
+    for (void *p : blocks)
+        arena.deallocate(p, kSz);
+    EXPECT_EQ(arena.stats().liveBlocks, 0u);
+    // Steady state: the next wave recycles instead of growing.
+    const std::uint64_t slabsBefore = arena.stats().slabBytes;
+    for (int i = 0; i < kCount; ++i)
+        blocks[static_cast<size_t>(i)] = arena.allocate(kSz);
+    EXPECT_EQ(arena.stats().slabBytes, slabsBefore);
+    for (void *p : blocks)
+        arena.deallocate(p, kSz);
+}
+
+TEST(Arena, OversizeFallback)
+{
+    PoolArena arena;
+    void *p = arena.allocate(100000);
+    EXPECT_EQ(arena.stats().oversize, 1u);
+    EXPECT_EQ(arena.stats().liveBlocks, 1u);
+    arena.deallocate(p, 100000);
+    EXPECT_EQ(arena.stats().liveBlocks, 0u);
+}
+
+TEST(Arena, PlantedLeakFlaggedByTeardownAccounting)
+{
+    PoolArena arena;
+    void *kept = arena.allocate(64);
+    void *freed = arena.allocate(64);
+    arena.deallocate(freed, 64);
+    // The planted leak: `kept` is never returned. Teardown accounting
+    // must flag exactly that block.
+    EXPECT_EQ(arena.checkTeardown(), 1u);
+    EXPECT_EQ(arena.stats().liveBytes, 64u);
+    arena.deallocate(kept, 64);  // clean up so the dtor stays silent
+    EXPECT_EQ(arena.checkTeardown(), 0u);
+}
+
+TEST(Arena, AllocatorBackedDequeRoundTrips)
+{
+    PoolArena arena;
+    {
+        ArenaDeque<Flit> q{ArenaAllocator<Flit>(&arena)};
+        for (int i = 0; i < 1000; ++i) {
+            Flit f;
+            f.seq = static_cast<std::int16_t>(i % 128);
+            q.push_back(f);
+        }
+        EXPECT_GT(arena.stats().allocCalls, 0u);
+        while (!q.empty())
+            q.pop_front();
+        q.shrink_to_fit();
+    }
+    EXPECT_EQ(arena.checkTeardown(), 0u);
+}
+
+TEST(Arena, NullArenaAllocatorUsesHeap)
+{
+    // The heap-mode toggle: a default allocator must work standalone and
+    // never touch any arena.
+    ArenaDeque<int> q;
+    for (int i = 0; i < 100; ++i)
+        q.push_back(i);
+    EXPECT_EQ(q.size(), 100u);
+    EXPECT_EQ(q.front(), 0);
+    ArenaAllocator<int> heap1;
+    ArenaAllocator<int> heap2;
+    EXPECT_TRUE(heap1 == heap2);
+    PoolArena arena;
+    ArenaAllocator<int> pooled(&arena);
+    EXPECT_TRUE(heap1 != pooled);
+}
+
+}  // namespace
+}  // namespace nord

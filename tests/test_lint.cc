@@ -250,6 +250,47 @@ TEST(NordLint, StdioSideChannel)
     EXPECT_TRUE(lint("src/common/log.cc", code).empty());
 }
 
+TEST(NordLint, FlitHeapAllocationFlagged)
+{
+    const char *code = R"cc(
+void
+stash(const Flit &f)
+{
+    Flit *copy = new Flit(f);
+    auto *desc = new
+        PacketDescriptor();
+    pending_.push_back(copy);
+    descs_.push_back(desc);
+}
+)cc";
+    const std::vector<LintFinding> fs = lint("src/ni/stash.cc", code);
+    // Both the same-line and the line-broken new-expression are caught.
+    EXPECT_EQ(countCheck(fs, "flit-heap"), 2);
+    // The arena itself and non-library code are exempt.
+    EXPECT_TRUE(lint("src/common/arena.cc", code).empty());
+    EXPECT_TRUE(lint("tests/test_foo.cc", code).empty());
+    EXPECT_TRUE(lint("bench/perf_foo.cpp", code).empty());
+}
+
+TEST(NordLint, FlitHeapIgnoresLookalikes)
+{
+    const char *code = R"cc(
+FlitLink *l = new FlitLink(dst, port);   // different type, fine
+int renewFlit = 0;                       // "new" not a word here
+Flit f = makeFlit();                     // no new-expression at all
+)cc";
+    EXPECT_TRUE(
+        countCheck(lint("src/network/wiring.cc", code), "flit-heap") == 0);
+}
+
+TEST(NordLint, FlitHeapAnnotationSuppresses)
+{
+    const char *code =
+        "// nord-lint-allow(flit-heap)\n"
+        "Flit *f = new Flit();\n";
+    EXPECT_EQ(countCheck(lint("src/ni/stash.cc", code), "flit-heap"), 0);
+}
+
 TEST(NordLint, DeterminismChecks)
 {
     const char *code = R"cc(
