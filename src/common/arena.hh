@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "common/log.hh"
+#include "common/state_annotations.hh"
 
 namespace nord {
 
@@ -107,11 +108,20 @@ class PoolArena
         geometrically when exhausted). */
     Header *carve(std::uint32_t cls);
 
+    NORD_STATE_EXCLUDE(cache,
+        "slab storage regrows as deserialized containers reallocate")
     std::vector<char *> slabs_;          ///< owned slab storage
+    NORD_STATE_EXCLUDE(cache, "bump offset into slabs_.back()")
     std::size_t slabNext_ = 0;           ///< bump offset in slabs_.back()
+    NORD_STATE_EXCLUDE(cache, "capacity of slabs_.back()")
     std::size_t slabCap_ = 0;            ///< capacity of slabs_.back()
+    NORD_STATE_EXCLUDE(cache, "geometric growth cursor")
     std::size_t nextSlabBytes_ = kInitialSlabBytes;
+    NORD_STATE_EXCLUDE(cache,
+        "free lists rebuilt by the allocate/deallocate traffic of the "
+        "deserialized containers")
     Header *freeLists_[kNumClasses] = {};
+    NORD_STATE_EXCLUDE(perf_counter, "footprint diagnostics and test hooks")
     Stats stats_;
 };
 

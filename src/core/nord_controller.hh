@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "common/state_annotations.hh"
 #include "powergate/pg_controller.hh"
 
 namespace nord {
@@ -72,7 +73,9 @@ class NordController : public PgController
     void pushSample(int count);
 
     NetworkInterface &ni_;
+    NORD_STATE_EXCLUDE(config, "wakeup threshold fixed at construction")
     int threshold_;
+    NORD_STATE_EXCLUDE(config, "sleep guard interval fixed at construction")
     int sleepGuard_;
     std::vector<int> window_;  ///< circular buffer of per-cycle counts
     size_t windowPos_ = 0;

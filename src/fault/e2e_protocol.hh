@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/flit.hh"
+#include "common/state_annotations.hh"
 #include "common/types.hh"
 #include "network/noc_config.hh"
 #include "stats/network_stats.hh"
@@ -155,6 +156,7 @@ class E2eEndpoint
     /** Timeout for the (retries)-th retransmission, with backoff. */
     Cycle backoffTimeout(int retries) const;
 
+    NORD_STATE_EXCLUDE(config, "endpoint identity fixed at construction")
     NodeId id_;
     const NocConfig &config_;
     NetworkStats &stats_;

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/state_annotations.hh"
 #include "common/types.hh"
 #include "fault/fault_config.hh"
 #include "sim/clocked.hh"
@@ -92,8 +93,12 @@ class FaultInjector : public Clocked
 
     NocSystem &sys_;
     const NocConfig &config_;
+    NORD_STATE_EXCLUDE(config, "auditor wiring attached by NocSystem")
     InvariantAuditor *auditor_ = nullptr;
     Rng rng_;
+    NORD_STATE_EXCLUDE(config,
+        "fault schedule derived from config at construction; the cursor "
+        "scheduleIdx_ is the live state")
     std::vector<FaultEvent> schedule_;  ///< sorted by cycle
     size_t scheduleIdx_ = 0;
     Counts counts_;

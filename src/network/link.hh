@@ -17,6 +17,7 @@
 
 #include "common/arena.hh"
 #include "common/flit.hh"
+#include "common/state_annotations.hh"
 #include "common/types.hh"
 #include "sim/clocked.hh"
 
@@ -109,7 +110,9 @@ class FlitLink : public Clocked
         Cycle due;
     };
 
+    NORD_STATE_EXCLUDE(config, "wiring; set once by NocSystem::buildLinks")
     Router *dst_;
+    NORD_STATE_EXCLUDE(config, "wiring; set once by NocSystem::buildLinks")
     Direction inPort_;
     ArenaDeque<Entry> queue_;
     std::uint64_t traversals_ = 0;
@@ -168,7 +171,9 @@ class CreditLink : public Clocked
         Cycle due;
     };
 
+    NORD_STATE_EXCLUDE(config, "wiring; set once by NocSystem::buildLinks")
     Router *dst_;
+    NORD_STATE_EXCLUDE(config, "wiring; set once by NocSystem::buildLinks")
     Direction outPort_;
     ArenaDeque<Entry> queue_;
 };

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/arena.hh"
+#include "common/state_annotations.hh"
 #include "common/types.hh"
 #include "fault/fault_injector.hh"
 #include "network/link.hh"
@@ -255,13 +256,20 @@ class NocSystem
         return config_.perf.arena ? &arena_ : nullptr;
     }
 
+    NORD_STATE_EXCLUDE(config, "the run configuration itself; fixed at build")
     NocConfig config_;
     // Declared right after config_ so it outlives (is destroyed after)
     // every container that allocates from it.
+    NORD_STATE_EXCLUDE(config,
+        "flit pool; storage is re-established by the deserialized "
+        "arena-backed containers")
     PoolArena arena_;
+    NORD_STATE_EXCLUDE(config, "topology derived from config at build")
     MeshTopology mesh_;
+    NORD_STATE_EXCLUDE(config, "topology derived from config at build")
     BypassRing ring_;
     NetworkStats stats_;
+    NORD_STATE_EXCLUDE(config, "routing tables derived from config at build")
     RoutingPolicy policy_;
     SimKernel kernel_;
 
@@ -272,8 +280,13 @@ class NocSystem
     std::vector<std::unique_ptr<CreditLink>> creditLinks_;
     std::unique_ptr<InvariantAuditor> auditor_;
     std::unique_ptr<FaultInjector> injector_;
+    NORD_STATE_EXCLUDE(config,
+        "shard-safety instrumentation attached between runs")
     std::unique_ptr<AccessTracker> accessTracker_;
+    NORD_STATE_EXCLUDE(config, "perf-centric node set derived from config")
     std::vector<NodeId> perfCentric_;
+    NORD_STATE_EXCLUDE(config,
+        "stateless tick driver; the workload it drives serializes itself")
     WorkloadTicker ticker_;
     Workload *workload_ = nullptr;
 };

@@ -33,6 +33,7 @@
 
 #include "common/arena.hh"
 #include "common/flit.hh"
+#include "common/state_annotations.hh"
 #include "common/types.hh"
 #include "fault/e2e_protocol.hh"
 #include "network/noc_config.hh"
@@ -246,8 +247,10 @@ class NetworkInterface : public Clocked
     const NocConfig &config_;
     NetworkStats &stats_;
     ActivityCounters &counters_;
+    NORD_STATE_EXCLUDE(config, "wiring; set once by NocSystem::buildControllers")
     Router *router_ = nullptr;
     const RoutingPolicy *policy_ = nullptr;
+    NORD_STATE_EXCLUDE(config, "delivery callback wired by the test/workload")
     DeliveryCallback onDelivery_;
 
     // Injection.
@@ -275,8 +278,11 @@ class NetworkInterface : public Clocked
 
     // End-to-end reliability (null unless config.fault.e2e).
     std::unique_ptr<E2eEndpoint> e2e_;
+    NORD_STATE_EXCLUDE(cache, "scratch; cleared and refilled within one tick")
     std::vector<Flit> deliverBuf_;                 ///< scratch
+    NORD_STATE_EXCLUDE(cache, "scratch; cleared and refilled within one tick")
     std::vector<E2eEndpoint::Resend> resendBuf_;   ///< scratch
+    NORD_STATE_EXCLUDE(cache, "scratch; cleared and refilled within one tick")
     std::vector<E2eEndpoint::AckSend> ackBuf_;     ///< scratch
 };
 

@@ -17,6 +17,7 @@
 #include <string>
 #include <utility>
 
+#include "common/state_annotations.hh"
 #include "common/types.hh"
 #include "network/noc_config.hh"
 #include "sim/clocked.hh"
@@ -167,6 +168,7 @@ class PgController : public Clocked
     ActivityCounters &counters_;
 
     PowerState state_ = PowerState::kOn;
+    NORD_STATE_EXCLUDE(config, "transition callback wired by NocSystem")
     TransitionListener listener_;
     bool wakeRequested_ = false;
     Cycle wakeDone_ = kNeverCycle;   ///< cycle the Vdd ramp completes

@@ -32,6 +32,7 @@
 
 #include "common/arena.hh"
 #include "common/flit.hh"
+#include "common/state_annotations.hh"
 #include "common/types.hh"
 #include "network/link.hh"
 #include "network/noc_config.hh"
@@ -339,14 +340,18 @@ class Router : public Clocked
     struct InputPort
     {
         std::vector<VirtualChannel> vcs;
+        NORD_STATE_EXCLUDE(config, "wiring; rebuilt by NocSystem::buildLinks")
         CreditLink *creditReturn = nullptr;  ///< null for the local port
+        NORD_STATE_EXCLUDE(config, "wiring; rebuilt by NocSystem::buildLinks")
         FlitLink *inLink = nullptr;
         int rrVc = 0;                        ///< SA round-robin pointer
     };
 
     struct OutputPort
     {
+        NORD_STATE_EXCLUDE(config, "wiring; rebuilt by NocSystem::buildLinks")
         Router *neighbor = nullptr;   ///< null for local / mesh edge
+        NORD_STATE_EXCLUDE(config, "wiring; rebuilt by NocSystem::buildLinks")
         FlitLink *link = nullptr;     ///< null for the local port
         std::vector<int> credits;
         std::vector<bool> outVcBusy;
@@ -398,7 +403,9 @@ class Router : public Clocked
     const BypassRing &ring_;
     NetworkStats &stats_;
     ActivityCounters &counters_;
+    NORD_STATE_EXCLUDE(config, "wiring; set once by NocSystem::buildControllers")
     NetworkInterface *ni_ = nullptr;
+    NORD_STATE_EXCLUDE(config, "wiring; set once by NocSystem::buildControllers")
     PgController *controller_ = nullptr;
     const RoutingPolicy *policy_ = nullptr;
 
@@ -409,9 +416,10 @@ class Router : public Clocked
      * datapathEmpty() as computed by the last tick, invalidated (set
      * false) by every flit arrival. Lets quiescent() -- which the kernel
      * consults right after each tick -- reuse the scan the idle-stats
-     * sample already paid for. Not serialized: loadCheckpoint wakes all
-     * components, so the next tick recomputes it before it is consulted.
+     * sample already paid for.
      */
+    NORD_STATE_EXCLUDE(cache,
+        "loadCheckpoint wakes all components; the next tick recomputes it")
     bool emptyAfterTick_ = false;
 };
 

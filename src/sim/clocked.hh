@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <string>
 
+#include "common/state_annotations.hh"
 #include "common/types.hh"
 
 namespace nord {
@@ -75,9 +76,12 @@ class Clocked
   private:
     friend class SimKernel;
 
-    // Back-pointer + slot bound by SimKernel::add(); not serialized
-    // (re-established on construction, identical across save/load).
+    // Back-pointer + slot bound by SimKernel::add().
+    NORD_STATE_EXCLUDE(config,
+        "re-established on construction, identical across save/load")
     SimKernel *kernel_ = nullptr;
+    NORD_STATE_EXCLUDE(config,
+        "re-established on construction, identical across save/load")
     std::size_t kernelSlot_ = 0;
 };
 

@@ -150,9 +150,8 @@ SimKernel::serializeState(StateSerializer &s)
 {
     s.section(StateSerializer::tag4("KERN"));
     s.io(now_);
-    // Active list and perf counters are deliberately not serialized:
-    // they are derived scheduling state, and including them would make
-    // skip-on and skip-off state hashes diverge.
+    // Every other member carries a NORD_STATE_EXCLUDE annotation in
+    // kernel.hh; nord-statecheck enforces that the two stay in sync.
 }
 
 bool

@@ -10,6 +10,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/state_annotations.hh"
 #include "common/types.hh"
 #include "sim/clocked.hh"
 
@@ -100,22 +101,44 @@ class SimKernel
     void wake(std::size_t slot);
     bool skippingNow() const { return skipEnabled_ && tracker_ == nullptr; }
 
+    NORD_STATE_EXCLUDE(config,
+        "component registry; rebuilt by NocSystem::registerAll")
     std::vector<Clocked *> objects_;
+    NORD_STATE_EXCLUDE(config,
+        "shard-safety instrumentation wired in between runs")
     AccessTracker *tracker_ = nullptr;
     Cycle now_ = 0;
 
     // Active list: sorted slot indices + per-slot flags. cursor_ indexes
     // activeIdx_ during stepOne so mid-pass wakes can keep iteration
     // valid (an insert at or before the cursor bumps it).
+    NORD_STATE_EXCLUDE(cache,
+        "derived scheduling state; loadCheckpoint wakes every component")
     std::vector<std::size_t> activeIdx_;
+    NORD_STATE_EXCLUDE(cache,
+        "per-slot active flags mirroring activeIdx_")
     std::vector<std::uint8_t> active_;
+    NORD_STATE_EXCLUDE(cache,
+        "mid-pass iteration point; live only inside stepOne")
     std::size_t cursor_ = 0;
+    NORD_STATE_EXCLUDE(cache,
+        "re-entrancy flag; live only inside stepOne")
     bool inTick_ = false;
+    NORD_STATE_EXCLUDE(config,
+        "skip-on and skip-off kernels must hash and restore identically")
     bool skipEnabled_ = true;
 
+    NORD_STATE_EXCLUDE(perf_counter,
+        "diagnostics; including them would split hashes by skip mode")
     std::uint64_t tickedLast_ = 0;
+    NORD_STATE_EXCLUDE(perf_counter,
+        "diagnostics; including them would split hashes by skip mode")
     std::uint64_t skippedLast_ = 0;
+    NORD_STATE_EXCLUDE(perf_counter,
+        "diagnostics; including them would split hashes by skip mode")
     std::uint64_t tickedTotal_ = 0;
+    NORD_STATE_EXCLUDE(perf_counter,
+        "diagnostics; including them would split hashes by skip mode")
     std::uint64_t skippedTotal_ = 0;
 };
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/flit.hh"
+#include "common/state_annotations.hh"
 #include "common/types.hh"
 
 namespace nord {
@@ -251,6 +252,7 @@ class NetworkStats
     std::vector<std::uint8_t> runEmpty_;
     std::vector<Cycle> runStart_;
 
+    NORD_STATE_EXCLUDE(config, "warmup horizon fixed at construction")
     Cycle warmup_;
     std::uint64_t packetsCreated_ = 0;
     std::uint64_t packetsDelivered_ = 0;

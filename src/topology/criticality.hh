@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/state_annotations.hh"
 #include "common/types.hh"
 #include "topology/bypass_ring.hh"
 #include "topology/mesh.hh"
@@ -155,9 +156,13 @@ class CriticalityCache
   private:
     CriticalityCache() = default;
 
+    NORD_STATE_EXCLUDE(config, "synchronization primitive, not state")
     mutable std::mutex mu_;
+    NORD_STATE_EXCLUDE(cache, "memoized knee search; recomputed on miss")
     std::map<std::pair<int, int>, int> knee_;
+    NORD_STATE_EXCLUDE(cache, "memoized perf-centric sets; recomputed on miss")
     std::map<std::tuple<int, int, int>, std::vector<NodeId>> perfSet_;
+    NORD_STATE_EXCLUDE(cache, "memoized steering weights; recomputed on miss")
     std::map<std::tuple<int, int, int>, std::vector<double>> steering_;
 };
 

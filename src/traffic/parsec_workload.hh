@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/state_annotations.hh"
 #include "common/types.hh"
 #include "traffic/workload.hh"
 
@@ -113,6 +114,7 @@ class ParsecWorkload : public Workload
 
     void issueTransaction(NodeId core, Cycle now);
 
+    NORD_STATE_EXCLUDE(config, "workload shape fixed at construction")
     ParsecParams params_;
     Rng phaseRng_;             ///< phase schedule (identical across runs)
     bool phaseActive_ = false;
@@ -122,6 +124,7 @@ class ParsecWorkload : public Workload
                                         ///< checked each tick
     std::uint64_t completed_ = 0;
     std::uint64_t total_ = 0;
+    NORD_STATE_EXCLUDE(config, "mesh size fixed at construction")
     int numNodes_ = 0;
 
     static constexpr Cycle kL2Latency = 6;

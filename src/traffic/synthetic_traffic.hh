@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/state_annotations.hh"
 #include "common/types.hh"
 #include "traffic/workload.hh"
 
@@ -65,13 +66,18 @@ class SyntheticTraffic : public Workload
   private:
     NodeId pickDestination(NodeId src);
 
+    NORD_STATE_EXCLUDE(config, "traffic pattern fixed at construction")
     TrafficPattern pattern_;
     double flitRate_;
     double packetRate_ = 0.0;
+    NORD_STATE_EXCLUDE(config, "packet geometry fixed at construction")
     int shortLen_;
+    NORD_STATE_EXCLUDE(config, "packet geometry fixed at construction")
     int longLen_;
+    NORD_STATE_EXCLUDE(config, "packet geometry fixed at construction")
     double longFraction_;
     Rng rng_;
+    NORD_STATE_EXCLUDE(config, "mesh size fixed at construction")
     int numNodes_ = 0;
 };
 

@@ -12,6 +12,7 @@
 #define NORD_TRAFFIC_WORKLOAD_HH
 
 #include "common/flit.hh"
+#include "common/state_annotations.hh"
 #include "common/types.hh"
 
 namespace nord {
@@ -51,6 +52,7 @@ class Workload
     virtual bool done() const { return false; }
 
   protected:
+    NORD_STATE_EXCLUDE(config, "wiring; attached by NocSystem::setWorkload")
     NocSystem *system_ = nullptr;
 };
 

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Machine-readable finding output shared by the analysis CLIs
+ * (nord-lint, nord-statecheck).
+ *
+ * With --json each finding is printed as one JSON object per line
+ * (JSON Lines), so CI can render annotations without scraping the
+ * human-readable text:
+ *
+ *   {"file":"src/sim/kernel.hh","line":42,"rule":"unserialized-member",
+ *    "severity":"error","message":"..."}
+ *
+ * Header-only and std-only: both CLIs build standalone, outside the nord
+ * library, exactly like the lint engine itself.
+ */
+
+#ifndef NORD_VERIFY_FINDINGS_JSON_HH
+#define NORD_VERIFY_FINDINGS_JSON_HH
+
+#include <cstdio>
+#include <string>
+
+namespace nord {
+
+/** Escape @p s for inclusion in a JSON string literal. */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+/** Print one finding as a JSON Lines record on stdout. */
+inline void
+printFindingJson(const std::string &file, int line,
+                 const std::string &rule, const std::string &severity,
+                 const std::string &message)
+{
+    // nord-lint-allow(stdio-side-channel): stdout IS this helper's
+    // output channel -- it exists so the analysis CLIs emit findings.
+    std::printf("{\"file\":\"%s\",\"line\":%d,\"rule\":\"%s\","
+                "\"severity\":\"%s\",\"message\":\"%s\"}\n",
+                jsonEscape(file).c_str(), line, jsonEscape(rule).c_str(),
+                jsonEscape(severity).c_str(), jsonEscape(message).c_str());
+}
+
+}  // namespace nord
+
+#endif  // NORD_VERIFY_FINDINGS_JSON_HH

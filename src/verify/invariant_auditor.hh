@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "common/flit.hh"
+#include "common/state_annotations.hh"
 #include "common/types.hh"
 #include "network/noc_config.hh"
 #include "sim/clocked.hh"
@@ -196,7 +197,9 @@ class InvariantAuditor : public Clocked
     }
 
     const NocSystem &sys_;
-    NocSystem *mutableSys_ = nullptr;  ///< kRecover repair handle
+    NORD_STATE_EXCLUDE(config, "kRecover repair handle wired by NocSystem")
+    NocSystem *mutableSys_ = nullptr;
+    NORD_STATE_EXCLUDE(config, "audit policy fixed at construction")
     VerifyConfig config_;
     std::vector<Violation> violations_;
     std::uint64_t sweeps_ = 0;

@@ -1,0 +1,424 @@
+/**
+ * @file
+ * nord-statecheck rules (see state_check.hh).
+ */
+
+#include "verify/statecheck/state_check.hh"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace nord {
+namespace statecheck {
+
+const char kRuleUnserializedMember[] = "unserialized-member";
+const char kRuleExcludeButSerialized[] = "exclude-but-serialized";
+const char kRuleBadExcludeCategory[] = "bad-exclude-category";
+const char kRuleDanglingExclude[] = "dangling-exclude";
+const char kRuleMissingSerializeBody[] = "missing-serialize-body";
+const char kRuleUndeclaredTickMutation[] = "undeclared-tick-mutation";
+const char kRuleUndeclaredChannelUse[] = "undeclared-channel-use";
+
+namespace {
+
+const std::array<const char *, 4> kCategories = {
+    "cache", "stat", "perf_counter", "config"};
+
+/** Outermost class of a nesting-qualified name ("Router::InputPort"). */
+std::string
+outermostOf(const std::string &qualified)
+{
+    const size_t pos = qualified.find("::");
+    return pos == std::string::npos ? qualified : qualified.substr(0, pos);
+}
+
+/** Every class name along the nesting chain. */
+std::vector<std::string>
+chainOf(const std::string &qualified)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (true) {
+        const size_t pos = qualified.find("::", start);
+        if (pos == std::string::npos) {
+            out.push_back(qualified.substr(start));
+            return out;
+        }
+        out.push_back(qualified.substr(start, pos - start));
+        start = pos + 2;
+    }
+}
+
+const ClassModel *
+findClass(const TreeModel &model, const std::string &name)
+{
+    for (const ClassModel &c : model.classes) {
+        if (c.qualified == name || (!c.nested && c.name == name))
+            return &c;
+    }
+    return nullptr;
+}
+
+/** True when some method of a class in @p chain mutates @p member. */
+bool
+writtenAnywhere(const TreeModel &model,
+                const std::vector<std::string> &chain,
+                const std::string &member)
+{
+    for (const MethodBody &mb : model.methods) {
+        for (const std::string &cls : chain) {
+            if (mb.cls == cls && mutatesMember(mb.text, member))
+                return true;
+        }
+    }
+    return false;
+}
+
+/** True when @p body reaches through pointer member @p name ("name->"). */
+bool
+usesPointerMember(const std::string &body, const std::string &name)
+{
+    for (size_t i = body.find(name); i != std::string::npos;
+         i = body.find(name, i + 1)) {
+        if (i > 0 && (std::isalnum(static_cast<unsigned char>(
+                          body[i - 1])) ||
+                      body[i - 1] == '_'))
+            continue;
+        size_t a = i + name.size();
+        if (a < body.size() && (std::isalnum(static_cast<unsigned char>(
+                                    body[a])) ||
+                                body[a] == '_'))
+            continue;
+        while (a < body.size() &&
+               std::isspace(static_cast<unsigned char>(body[a])))
+            ++a;
+        if (a + 1 < body.size() && body[a] == '-' && body[a + 1] == '>')
+            return true;
+        // Array of pointers: name[i]->...
+        if (a < body.size() && body[a] == '[') {
+            int depth = 0;
+            while (a < body.size()) {
+                if (body[a] == '[')
+                    ++depth;
+                else if (body[a] == ']' && --depth == 0) {
+                    ++a;
+                    break;
+                }
+                ++a;
+            }
+            while (a < body.size() &&
+                   std::isspace(static_cast<unsigned char>(body[a])))
+                ++a;
+            if (a + 1 < body.size() && body[a] == '-' &&
+                body[a + 1] == '>')
+                return true;
+        }
+    }
+    return false;
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+void
+emit(std::vector<CheckFinding> &out, const std::string &file, int line,
+     const char *rule, const std::string &message)
+{
+    CheckFinding f;
+    f.file = file;
+    f.line = line;
+    f.rule = rule;
+    f.severity = "error";
+    f.message = message;
+    out.push_back(std::move(f));
+}
+
+}  // namespace
+
+namespace {
+
+/**
+ * Fixpoint-expand @p text with the bodies of @p cls methods whose names
+ * it mentions (transitively). Lets accessor-based serialization --
+ * io(Rng&) calling rawState()/setRawState() -- credit the members those
+ * accessors touch.
+ */
+std::string
+expandClosure(std::string text, std::vector<bool> &included,
+              const std::vector<const MethodBody *> &own)
+{
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t i = 0; i < own.size(); ++i) {
+            if (included[i])
+                continue;
+            if (containsWord(text, own[i]->name)) {
+                included[i] = true;
+                text += own[i]->text;
+                text += '\n';
+                changed = true;
+            }
+        }
+    }
+    return text;
+}
+
+std::vector<const MethodBody *>
+methodsOf(const TreeModel &model, const std::string &cls)
+{
+    std::vector<const MethodBody *> own;
+    for (const MethodBody &mb : model.methods) {
+        if (mb.cls == cls)
+            own.push_back(&mb);
+    }
+    return own;
+}
+
+}  // namespace
+
+std::string
+methodClosure(const TreeModel &model, const std::string &cls,
+              const std::vector<std::string> &seeds)
+{
+    const std::vector<const MethodBody *> own = methodsOf(model, cls);
+    std::vector<bool> included(own.size(), false);
+    std::string text;
+    for (size_t i = 0; i < own.size(); ++i) {
+        for (const std::string &seed : seeds) {
+            if (own[i]->name == seed) {
+                included[i] = true;
+                text += own[i]->text;
+                text += '\n';
+                break;
+            }
+        }
+    }
+    return expandClosure(std::move(text), included, own);
+}
+
+std::string
+expandWalk(const TreeModel &model, const std::string &cls,
+           std::string walk)
+{
+    const std::vector<const MethodBody *> own = methodsOf(model, cls);
+    std::vector<bool> included(own.size(), false);
+    return expandClosure(std::move(walk), included, own);
+}
+
+std::vector<CheckFinding>
+checkTree(const TreeModel &model)
+{
+    std::vector<CheckFinding> out;
+
+    // External serializer walks (StateSerializer::io(T&)).
+    auto externalWalk = [&](const std::string &cls) {
+        std::string text;
+        const std::string key = "io#" + cls;
+        for (const MethodBody &mb : model.methods) {
+            if (mb.name == key) {
+                text += mb.text;
+                text += '\n';
+            }
+        }
+        return text;
+    };
+
+    for (const ClassModel &cls : model.classes) {
+        const ClassModel *top =
+            cls.nested ? findClass(model, outermostOf(cls.qualified))
+                       : &cls;
+        const std::string external = externalWalk(cls.name);
+
+        // Scope: Clocked, serializable, annotated, externally walked, or
+        // a nested struct used as member storage of an in-scope class.
+        bool inScope = cls.clocked || cls.declaresSerialize ||
+                       !cls.danglingExcludeLines.empty() ||
+                       !external.empty();
+        for (const MemberModel &m : cls.members) {
+            if (m.excluded)
+                inScope = true;
+        }
+        if (!inScope && cls.nested && cls.usedAsMemberType && top &&
+            top != &cls) {
+            inScope = top->clocked || top->declaresSerialize;
+        }
+        if (!inScope)
+            continue;
+
+        // The serialize walk this class's members must appear in: its own
+        // serializeState closure, the outermost class's walk for nested
+        // storage structs, or the external io(T&) body.
+        std::string walk =
+            methodClosure(model, cls.name, {"serializeState"});
+        if (walk.empty() && cls.nested && top && top != &cls)
+            walk = methodClosure(model, top->name, {"serializeState"});
+        if (!external.empty())
+            walk = expandWalk(model, cls.name, walk + external);
+
+        // Tick-path mutation context: this class when Clocked, else the
+        // outermost Clocked class whose tick drives it.
+        std::string tickCls;
+        if (cls.clocked)
+            tickCls = cls.name;
+        else if (top && top != &cls && top->clocked)
+            tickCls = top->name;
+        const std::string tickClosure =
+            tickCls.empty()
+                ? std::string()
+                : methodClosure(model, tickCls, {"tick", "commit"});
+
+        const bool serializesChain =
+            cls.declaresSerialize ||
+            (top && top != &cls && top->declaresSerialize);
+
+        for (int line : cls.danglingExcludeLines) {
+            emit(out, cls.file, line, kRuleDanglingExclude,
+                 "NORD_STATE_EXCLUDE in " + cls.qualified +
+                     " binds to no member declaration");
+        }
+
+        int checkable = 0;
+        for (const MemberModel &m : cls.members) {
+            if (!m.isStatic && !m.isConst && !m.isReference)
+                ++checkable;
+        }
+        const bool walkMissing =
+            walk.empty() && cls.declaresSerialize && checkable > 0;
+        if (walkMissing) {
+            emit(out, cls.file, cls.line, kRuleMissingSerializeBody,
+                 cls.qualified +
+                     " declares serializeState but no body was found "
+                     "for its walk");
+        }
+
+        const std::vector<std::string> chain = chainOf(cls.qualified);
+        for (const MemberModel &m : cls.members) {
+            if (m.isStatic || m.isConst || m.isReference)
+                continue;
+            const bool serialized = containsWord(walk, m.name);
+            if (!m.excluded) {
+                if (!serialized && !walkMissing) {
+                    emit(out, cls.file, m.line, kRuleUnserializedMember,
+                         cls.qualified + "::" + m.name +
+                             " is not serialized and carries no "
+                             "NORD_STATE_EXCLUDE annotation");
+                }
+                continue;
+            }
+            if (serialized) {
+                emit(out, cls.file, m.excludeLine,
+                     kRuleExcludeButSerialized,
+                     cls.qualified + "::" + m.name +
+                         " carries NORD_STATE_EXCLUDE but appears in "
+                         "the serializeState walk");
+            }
+            bool known = false;
+            for (const char *cat : kCategories)
+                known = known || m.category == cat;
+            if (!known) {
+                emit(out, cls.file, m.excludeLine, kRuleBadExcludeCategory,
+                     cls.qualified + "::" + m.name +
+                         ": unknown exclude category '" + m.category +
+                         "' (expected cache, stat, perf_counter or "
+                         "config)");
+            } else if (m.category == "cache") {
+                if (!writtenAnywhere(model, chain, m.name)) {
+                    emit(out, cls.file, m.excludeLine,
+                         kRuleBadExcludeCategory,
+                         cls.qualified + "::" + m.name +
+                             ": 'cache' member is never written by any "
+                             "method; annotate as config instead");
+                }
+            } else if (m.category == "stat") {
+                if (!serializesChain) {
+                    emit(out, cls.file, m.excludeLine,
+                         kRuleBadExcludeCategory,
+                         cls.qualified + "::" + m.name +
+                             ": 'stat' is only legal in classes that "
+                             "serialize the rest of their state");
+                }
+            } else if (m.category == "perf_counter") {
+                if (!startsWith(cls.file, "src/sim/") &&
+                    !startsWith(cls.file, "src/common/")) {
+                    emit(out, cls.file, m.excludeLine,
+                         kRuleBadExcludeCategory,
+                         cls.qualified + "::" + m.name +
+                             ": 'perf_counter' is only legal under "
+                             "src/sim/ and src/common/");
+                }
+            } else if (m.category == "config") {
+                if (!tickClosure.empty() &&
+                    mutatesMember(tickClosure, m.name)) {
+                    emit(out, cls.file, m.excludeLine,
+                         kRuleBadExcludeCategory,
+                         cls.qualified + "::" + m.name +
+                             ": 'config' member is mutated on the tick "
+                             "path");
+                }
+            }
+        }
+
+        // Ownership-coverage for Clocked classes.
+        if (cls.clocked) {
+            const std::string ownBody =
+                methodClosure(model, cls.name, {"declareOwnership"});
+            bool tickMutates = false;
+            int mutLine = cls.line;
+            for (const MemberModel &m : cls.members) {
+                if (m.isStatic || m.isConst)
+                    continue;
+                if (!tickClosure.empty() &&
+                    mutatesMember(tickClosure, m.name)) {
+                    tickMutates = true;
+                    mutLine = m.line;
+                    break;
+                }
+            }
+            if (tickMutates && !containsWord(ownBody, "owns")) {
+                emit(out, cls.file, mutLine, kRuleUndeclaredTickMutation,
+                     cls.qualified +
+                         " mutates member state on the tick path but "
+                         "declareOwnership claims no ownership domain");
+            }
+            const bool declaresChannels =
+                containsWord(ownBody, "writes") ||
+                containsWord(ownBody, "writesAny") ||
+                containsWord(ownBody, "reads") ||
+                containsWord(ownBody, "readsAny");
+            for (const MemberModel &m : cls.members) {
+                if (!m.isPointer || m.isStatic)
+                    continue;
+                if (!tickClosure.empty() &&
+                    usesPointerMember(tickClosure, m.name) &&
+                    !declaresChannels) {
+                    emit(out, cls.file, m.line, kRuleUndeclaredChannelUse,
+                         cls.qualified + " reaches through pointer " +
+                             m.name +
+                             " on the tick path but declareOwnership "
+                             "declares no channel access");
+                    break;
+                }
+            }
+        }
+    }
+
+    std::sort(out.begin(), out.end(),
+              [](const CheckFinding &a, const CheckFinding &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+    return out;
+}
+
+}  // namespace statecheck
+}  // namespace nord

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * nord-statecheck rule layer: cross-check the parsed state model
+ * (state_model.hh) against three ground truths.
+ *
+ *  1. serialize-coverage: every non-static, non-const, non-reference data
+ *     member of an in-scope class must appear in that class's
+ *     serializeState() walk closure or carry NORD_STATE_EXCLUDE.
+ *  2. ownership-coverage: a Clocked class whose tick()/commit closure
+ *     mutates member state must claim an ownership domain (owns(...)),
+ *     and one that reaches through component pointers on the tick path
+ *     must declare channel access (writes/reads/writesAny/readsAny).
+ *  3. annotation legality: each NORD_STATE_EXCLUDE category obeys its
+ *     rule (see common/state_annotations.hh); annotations that bind to
+ *     no member or name an unknown category are findings themselves.
+ *
+ * A class is in scope when it derives from Clocked, declares
+ * serializeState, carries an annotation, or is serialized externally via
+ * StateSerializer::io(T&). Members of nested structs used as member
+ * storage are checked against the outermost class's walk.
+ */
+
+#ifndef NORD_VERIFY_STATECHECK_STATE_CHECK_HH
+#define NORD_VERIFY_STATECHECK_STATE_CHECK_HH
+
+#include <string>
+#include <vector>
+
+#include "verify/statecheck/state_model.hh"
+
+namespace nord {
+namespace statecheck {
+
+/** One rule violation. */
+struct CheckFinding
+{
+    std::string file;
+    int line = 0;
+    std::string rule;      ///< e.g. "unserialized-member"
+    std::string severity;  ///< "error" (all current rules gate CI)
+    std::string message;
+};
+
+/// Rule identifiers (kept in one place for the CLI and the tests).
+extern const char kRuleUnserializedMember[];
+extern const char kRuleExcludeButSerialized[];
+extern const char kRuleBadExcludeCategory[];
+extern const char kRuleDanglingExclude[];
+extern const char kRuleMissingSerializeBody[];
+extern const char kRuleUndeclaredTickMutation[];
+extern const char kRuleUndeclaredChannelUse[];
+
+/** Run every rule over @p model; findings sorted by file/line. */
+std::vector<CheckFinding> checkTree(const TreeModel &model);
+
+/**
+ * Transitive body text of @p cls methods reachable from any seed name in
+ * @p seeds (e.g. {"serializeState"} or {"tick", "commit"}). Exposed for
+ * the unit tests.
+ */
+std::string methodClosure(const TreeModel &model, const std::string &cls,
+                          const std::vector<std::string> &seeds);
+
+/**
+ * Fixpoint-expand @p walk with the bodies of @p cls methods it calls, so
+ * accessor-based serialization (io(Rng&) -> rawState()) credits the
+ * members the accessors touch.
+ */
+std::string expandWalk(const TreeModel &model, const std::string &cls,
+                       std::string walk);
+
+}  // namespace statecheck
+}  // namespace nord
+
+#endif  // NORD_VERIFY_STATECHECK_STATE_CHECK_HH

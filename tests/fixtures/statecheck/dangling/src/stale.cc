@@ -1,0 +1,19 @@
+#include "stale.hh"
+
+void
+Stale::tick(Cycle now)
+{
+    value_ += 1;
+}
+
+void
+Stale::serializeState(StateSerializer &s)
+{
+    s.io(value_);
+}
+
+void
+Stale::declareOwnership(OwnershipDeclarator &d) const
+{
+    d.owns("stale");
+}

@@ -1,0 +1,19 @@
+#include "gadget.hh"
+
+void
+Gadget::tick(Cycle now)
+{
+    credits_ -= 1;
+}
+
+void
+Gadget::serializeState(StateSerializer &s)
+{
+    s.io(credits_);
+}
+
+void
+Gadget::declareOwnership(OwnershipDeclarator &d) const
+{
+    d.owns("gadget");
+}

@@ -1,0 +1,15 @@
+#include "ghost.hh"
+
+void
+Ghost::tick(Cycle now)
+{
+    depth_ += 1;
+}
+
+// serializeState deliberately left undefined.
+
+void
+Ghost::declareOwnership(OwnershipDeclarator &d) const
+{
+    d.owns("ghost");
+}

@@ -1,0 +1,21 @@
+#include "rogue.hh"
+
+void
+Rogue::tick(Cycle now)
+{
+    seq_ += 1;
+    peer_->push(seq_, now);
+}
+
+void
+Rogue::serializeState(StateSerializer &s)
+{
+    s.io(seq_);
+}
+
+void
+Rogue::declareOwnership(OwnershipDeclarator &d) const
+{
+    // Deliberately empty: neither owns() nor writes()/reads().
+    (void)d;
+}

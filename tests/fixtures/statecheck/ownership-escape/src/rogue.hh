@@ -1,0 +1,22 @@
+// Planted violations:
+//  - Rogue mutates seq_ inside tick() but declareOwnership claims no
+//    ownership domain (no owns(...))     -> undeclared-tick-mutation
+//  - Rogue pushes into *peer_ on the tick path but declares no channel
+//    access (no writes/reads)            -> undeclared-channel-use
+#ifndef FIXTURE_ROGUE_HH
+#define FIXTURE_ROGUE_HH
+
+class Rogue : public Clocked
+{
+  public:
+    void tick(Cycle now) override;
+    void serializeState(StateSerializer &s);
+    void declareOwnership(OwnershipDeclarator &d) const;
+
+  private:
+    long seq_ = 0;
+    NORD_STATE_EXCLUDE(config, "wiring; set once at build time")
+    Peer *peer_ = nullptr;
+};
+
+#endif

@@ -1,0 +1,20 @@
+#include "widget.hh"
+
+void
+Widget::tick(Cycle now)
+{
+    count_ += 1;
+    phase_ = (phase_ + 1) % 4;
+}
+
+void
+Widget::serializeState(StateSerializer &s)
+{
+    s.io(count_);
+}
+
+void
+Widget::declareOwnership(OwnershipDeclarator &d) const
+{
+    d.owns("widget");
+}

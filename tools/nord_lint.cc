@@ -4,12 +4,13 @@
  * tree (see src/verify/lint/source_lint.hh for the checks).
  *
  * Usage:
- *   nord-lint [--whitelist] [root]
+ *   nord-lint [--whitelist] [--json] [root]
  *
  * Lints the repo rooted at @p root (default: current directory), printing
- * one `file:line: [check] message` per finding. Exit status: 0 clean,
- * 1 findings, 2 usage/I-O error. --whitelist prints the sanctioned
- * exceptions and their stories instead of linting.
+ * one `file:line: [check] message` per finding, or one JSON object per
+ * finding with --json (see verify/findings_json.hh). Exit status: 0
+ * clean, 1 findings, 2 usage/I-O error. --whitelist prints the
+ * sanctioned exceptions and their stories instead of linting.
  */
 
 #include <cstdio>
@@ -17,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "verify/findings_json.hh"
 #include "verify/lint/source_lint.hh"
 
 namespace {
@@ -25,9 +27,10 @@ int
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s [--whitelist] [root]\n"
+                 "usage: %s [--whitelist] [--json] [root]\n"
                  "  lints src/, tools/, bench/, examples/ and tests/ "
                  "under root (default .)\n"
+                 "  --json       one JSON object per finding (JSON Lines)\n"
                  "  --whitelist  print the sanctioned exceptions and why "
                  "they are safe\n",
                  argv0);
@@ -41,9 +44,12 @@ main(int argc, char **argv)
 {
     std::string root = ".";
     bool showWhitelist = false;
+    bool json = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--whitelist") == 0) {
             showWhitelist = true;
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            json = true;
         } else if (std::strcmp(argv[i], "--help") == 0 ||
                    std::strcmp(argv[i], "-h") == 0) {
             usage(argv[0]);
@@ -72,14 +78,21 @@ main(int argc, char **argv)
         return 2;
     }
     for (const nord::LintFinding &f : findings) {
-        std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line,
-                    f.check.c_str(), f.message.c_str());
+        if (json) {
+            nord::printFindingJson(f.file, f.line, f.check, "error",
+                                   f.message);
+        } else {
+            std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                        f.check.c_str(), f.message.c_str());
+        }
     }
     if (findings.empty()) {
-        std::printf("nord-lint: clean (no hidden mutable state, no "
-                    "determinism or side-channel escapes)\n");
+        if (!json)
+            std::printf("nord-lint: clean (no hidden mutable state, no "
+                        "determinism or side-channel escapes)\n");
         return 0;
     }
-    std::printf("nord-lint: %zu finding(s)\n", findings.size());
+    if (!json)
+        std::printf("nord-lint: %zu finding(s)\n", findings.size());
     return 1;
 }
